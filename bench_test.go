@@ -1,0 +1,651 @@
+// Package repro_test holds the benchmark harness: one testing.B
+// benchmark per table and figure of the paper's evaluation, plus the
+// ablation benchmarks for the design choices called out in DESIGN.md.
+//
+// Benchmarks use scaled-down systems so `go test -bench=. -benchmem`
+// finishes in minutes on a laptop; the cmd/experiments binary runs
+// the same machinery at configurable scale and prints the paper-style
+// tables.
+package repro_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/bcrs"
+	"repro/internal/chebyshev"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/hydro"
+	"repro/internal/model"
+	"repro/internal/multivec"
+	"repro/internal/neighbor"
+	"repro/internal/particles"
+	"repro/internal/partition"
+	"repro/internal/reorder"
+	"repro/internal/rng"
+	"repro/internal/sd"
+	"repro/internal/solver"
+)
+
+// Shared fixtures, built once.
+var (
+	fixOnce sync.Once
+	fixSys  *particles.System // 1500 particles, phi=0.5
+	fixMat  *bcrs.Matrix      // its resistance matrix (mat2-like density)
+	fixMat1 *bcrs.Matrix      // sparse-row matrix (mat1-like density)
+)
+
+func fixtures(b *testing.B) {
+	b.Helper()
+	fixOnce.Do(func() {
+		var err error
+		fixSys, err = particles.New(particles.Options{N: 1500, Phi: 0.5, Seed: 11})
+		if err != nil {
+			panic(err)
+		}
+		fixMat = hydro.Build(fixSys, hydro.Options{Phi: 0.5, CutoffXi: 2.5})
+		fixMat1 = hydro.Build(fixSys, hydro.Options{Phi: 0.5, CutoffXi: 0.15})
+	})
+}
+
+// ---- Table I: matrix generation ----
+
+func BenchmarkTable1MatrixGen(b *testing.B) {
+	fixtures(b)
+	for i := 0; i < b.N; i++ {
+		a := hydro.Build(fixSys, hydro.Options{Phi: 0.5})
+		if a.NNZB() == 0 {
+			b.Fatal("empty matrix")
+		}
+	}
+}
+
+// ---- Table II: single-vector SPMV ----
+
+func benchSPMV(b *testing.B, a *bcrs.Matrix) {
+	x := make([]float64, a.N())
+	rng.New(1).FillNormal(x)
+	y := make([]float64, a.N())
+	b.SetBytes(a.Stats().Bytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVec(y, x)
+	}
+}
+
+func BenchmarkTable2SPMVmat1(b *testing.B) { fixtures(b); benchSPMV(b, fixMat1) }
+func BenchmarkTable2SPMVmat2(b *testing.B) { fixtures(b); benchSPMV(b, fixMat) }
+
+// ---- Figure 1: model profile ----
+
+func BenchmarkFig1ModelProfile(b *testing.B) {
+	bprs := []float64{6, 24, 48, 84}
+	bofs := []float64{0.02, 0.2, 0.6}
+	for i := 0; i < b.N; i++ {
+		model.Fig1Profile(bprs, bofs, 256)
+	}
+}
+
+// ---- Figure 2: GSPMV relative time ----
+
+func BenchmarkFig2GSPMV(b *testing.B) {
+	fixtures(b)
+	for _, m := range []int{1, 2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			x := multivec.New(fixMat.N(), m)
+			rng.New(2).FillNormal(x.Data)
+			y := multivec.New(fixMat.N(), m)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fixMat.Mul(y, x)
+			}
+		})
+	}
+}
+
+// ---- Figures 3, 4 and Table III: simulated cluster ----
+
+func clusterFixture(b *testing.B, p int) *cluster.Cluster {
+	b.Helper()
+	fixtures(b)
+	r := partition.Coordinate(fixMat1, fixSys.Pos, fixSys.Box, p, 0)
+	cl, err := cluster.New(fixMat1, r.Part, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cl
+}
+
+func BenchmarkFig3ClusterGSPMV(b *testing.B) {
+	for _, p := range []int{4, 16, 64} {
+		cl := clusterFixture(b, p)
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			x := multivec.New(fixMat1.N(), 8)
+			rng.New(3).FillNormal(x.Data)
+			y := multivec.New(fixMat1.N(), 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cl.Mul(y, x) // functional halo-exchange multiply
+			}
+		})
+	}
+}
+
+func BenchmarkFig4RelativeTimeModel(b *testing.B) {
+	cl := clusterFixture(b, 64)
+	cm := cluster.PaperCost()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cl.RelativeTime(16, cm) <= 0 {
+			b.Fatal("bad relative time")
+		}
+	}
+}
+
+func BenchmarkTable3CommFractions(b *testing.B) {
+	cl := clusterFixture(b, 32)
+	cm := cluster.PaperCost()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range []int{1, 8, 32} {
+			if f := cl.Estimate(m, cm).CommFraction; f < 0 || f > 1 {
+				b.Fatal("bad fraction")
+			}
+		}
+	}
+}
+
+// ---- Table IV: radii sampling ----
+
+func BenchmarkTable4RadiiSampling(b *testing.B) {
+	s := rng.New(4)
+	for i := 0; i < b.N; i++ {
+		particles.SampleRadii(s, 10000)
+	}
+}
+
+// ---- Figures 5-6, Table V: solves with initial guesses ----
+
+func newBenchSim(b *testing.B, m int) *sd.Simulation {
+	b.Helper()
+	sys, err := particles.New(particles.Options{N: 250, Phi: 0.5, Seed: 17})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sd.New(sys, hydro.Options{Phi: 0.5}, core.Config{Dt: 2, M: m, Seed: 17}, 1)
+}
+
+func BenchmarkFig5GuessError(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sim := newBenchSim(b, 8)
+		if err := sim.RunMRHS(8); err != nil {
+			b.Fatal(err)
+		}
+		if sim.Records[7].GuessRelError <= 0 {
+			b.Fatal("no guess error recorded")
+		}
+	}
+}
+
+func BenchmarkFig6IterationsWithGuesses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sim := newBenchSim(b, 6)
+		if err := sim.RunMRHS(6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5Iterations(b *testing.B) {
+	b.Run("with-guesses", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim := newBenchSim(b, 6)
+			if err := sim.RunMRHS(6); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("without-guesses", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim := newBenchSim(b, 1)
+			if err := sim.RunOriginal(6); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- Tables VI-VII: end-to-end step cost ----
+
+func BenchmarkTable6Breakdown(b *testing.B) {
+	b.Run("mrhs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim := newBenchSim(b, 8)
+			if err := sim.RunMRHS(8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("original", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim := newBenchSim(b, 1)
+			if err := sim.RunOriginal(8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkTable7Occupancy(b *testing.B) {
+	for _, phi := range []float64{0.1, 0.5} {
+		b.Run(fmt.Sprintf("phi=%.1f", phi), func(b *testing.B) {
+			sys, err := particles.New(particles.Options{N: 250, Phi: phi, Seed: 19})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				sim := sd.New(sys.Clone(), hydro.Options{Phi: phi}, core.Config{Dt: 2, M: 8, Seed: 19}, 1)
+				if err := sim.RunMRHS(8); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Table VIII and Figure 7: the step-time model ----
+
+func BenchmarkTable8ModelSweep(b *testing.B) {
+	p := model.MRHS{
+		GSPMV: model.GSPMV{Machine: model.WSM, Shape: model.Shape{NB: 300000, NNZB: 7500000}},
+		N:     162, N1: 80, N2: 63, Cmax: 30,
+	}
+	for i := 0; i < b.N; i++ {
+		if p.MOptimal(64) < 1 {
+			b.Fatal("bad optimum")
+		}
+	}
+}
+
+func BenchmarkFig7TmrhsSweep(b *testing.B) {
+	for _, m := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sim := newBenchSim(b, m)
+				if err := sim.RunMRHS(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Figure 8: thread scaling ----
+
+func BenchmarkFig8Threads(b *testing.B) {
+	fixtures(b)
+	for _, t := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("t=%d", t), func(b *testing.B) {
+			fixMat.SetThreads(t)
+			defer fixMat.SetThreads(1)
+			x := multivec.New(fixMat.N(), 16)
+			rng.New(5).FillNormal(x.Data)
+			y := multivec.New(fixMat.N(), 16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fixMat.Mul(y, x)
+			}
+		})
+	}
+}
+
+// ---- Ablations (DESIGN.md section 5) ----
+
+// BenchmarkAblationVectorLayout compares the row-major GSPMV against
+// the column-major equivalent (m independent SPMV passes over the
+// matrix) — the choice of Section IV-A1.
+func BenchmarkAblationVectorLayout(b *testing.B) {
+	fixtures(b)
+	const m = 8
+	b.Run("row-major-gspmv", func(b *testing.B) {
+		x := multivec.New(fixMat.N(), m)
+		rng.New(6).FillNormal(x.Data)
+		y := multivec.New(fixMat.N(), m)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fixMat.Mul(y, x)
+		}
+	})
+	b.Run("column-major-spmvs", func(b *testing.B) {
+		xs := make([][]float64, m)
+		ys := make([][]float64, m)
+		for j := range xs {
+			xs[j] = make([]float64, fixMat.N())
+			rng.New(uint64(7 + j)).FillNormal(xs[j])
+			ys[j] = make([]float64, fixMat.N())
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < m; j++ {
+				fixMat.MulVec(ys[j], xs[j])
+			}
+		}
+	})
+}
+
+// BenchmarkAblationKernelDispatch compares the specialized unrolled
+// kernels against the generic fallback.
+func BenchmarkAblationKernelDispatch(b *testing.B) {
+	fixtures(b)
+	for _, m := range []int{8, 16} {
+		x := multivec.New(fixMat.N(), m)
+		rng.New(8).FillNormal(x.Data)
+		y := multivec.New(fixMat.N(), m)
+		b.Run(fmt.Sprintf("specialized/m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fixMat.Mul(y, x)
+			}
+		})
+		b.Run(fmt.Sprintf("generic/m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fixMat.MulGenericKernel(y, x)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBlockCG compares the block solve against m
+// independent CG solves for the augmented system.
+func BenchmarkAblationBlockCG(b *testing.B) {
+	fixtures(b)
+	const m = 8
+	bm := multivec.New(fixMat.N(), m)
+	rng.New(9).FillNormal(bm.Data)
+	opts := solver.Options{Tol: 1e-6}
+	b.Run("block-cg", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			x := multivec.New(fixMat.N(), m)
+			st := solver.BlockCG(fixMat, x, bm, opts)
+			if !st.Converged {
+				b.Fatal("block CG stalled")
+			}
+		}
+	})
+	b.Run("separate-cg", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < m; j++ {
+				x := make([]float64, fixMat.N())
+				st := solver.CG(fixMat, x, bm.ColVector(j), opts)
+				if !st.Converged {
+					b.Fatal("CG stalled")
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblationWarmSecondSolve measures the paper's Section II-C
+// optimization: warm-starting the midpoint corrector solve with the
+// predictor solution versus solving it cold.
+func BenchmarkAblationWarmSecondSolve(b *testing.B) {
+	fixtures(b)
+	// One representative pair: solve R u = f, then solve the
+	// perturbed-system corrector warm vs cold.
+	f := make([]float64, fixMat.N())
+	s, err := chebyshev.NewSqrtAuto(fixMat, hydro.MinFarField(fixSys, hydro.Options{Phi: 0.5}), 30, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	z := make([]float64, fixMat.N())
+	rng.New(10).FillNormal(z)
+	s.Apply(f, z)
+	u := make([]float64, fixMat.N())
+	if st := solver.CG(fixMat, u, f, solver.Options{}); !st.Converged {
+		b.Fatal("setup solve stalled")
+	}
+	half := fixSys.Clone()
+	half.DisplacedFrom(fixSys, u, 1)
+	aHalf := hydro.Build(half, hydro.Options{Phi: 0.5, CutoffXi: 2.5})
+
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			x := append([]float64(nil), u...)
+			if st := solver.CG(aHalf, x, f, solver.Options{}); !st.Converged {
+				b.Fatal("warm solve stalled")
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			x := make([]float64, fixMat.N())
+			if st := solver.CG(aHalf, x, f, solver.Options{}); !st.Converged {
+				b.Fatal("cold solve stalled")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationThreadPartition compares nnz-balanced against
+// naive row-balanced thread blocking on a density-skewed matrix.
+func BenchmarkAblationThreadPartition(b *testing.B) {
+	// Skewed matrix: first tenth of the rows hold most non-zeros.
+	nb := 6000
+	bd := bcrs.NewBuilder(nb)
+	s := rng.New(11)
+	blk := func() (m [9]float64) {
+		for i := range m {
+			m[i] = s.Normal()
+		}
+		return
+	}
+	for i := 0; i < nb; i++ {
+		bd.AddBlock(i, i, blk())
+		deg := 2
+		if i < nb/10 {
+			deg = 40
+		}
+		for d := 0; d < deg; d++ {
+			bd.AddBlock(i, (i+1+s.Intn(nb-1))%nb, blk())
+		}
+	}
+	a := bd.Build()
+	x := multivec.New(a.N(), 8)
+	rng.New(12).FillNormal(x.Data)
+	y := multivec.New(a.N(), 8)
+	b.Run("nnz-balanced", func(b *testing.B) {
+		a.SetThreads(4)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a.Mul(y, x)
+		}
+	})
+	b.Run("row-balanced", func(b *testing.B) {
+		a.SetThreadsRowBalanced(4)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a.Mul(y, x)
+		}
+	})
+}
+
+// BenchmarkAblationSymmetricStorage quantifies the symmetry the paper
+// chose not to exploit: half the matrix traffic per multiply, at the
+// cost of a scatter that blocks easy threading.
+func BenchmarkAblationSymmetricStorage(b *testing.B) {
+	fixtures(b)
+	s, err := bcrs.NewSym(fixMat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const m = 8
+	x := multivec.New(fixMat.N(), m)
+	rng.New(13).FillNormal(x.Data)
+	y := multivec.New(fixMat.N(), m)
+	b.Run("full-storage", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fixMat.Mul(y, x)
+		}
+	})
+	b.Run("symmetric-storage", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.Mul(y, x)
+		}
+	})
+}
+
+// BenchmarkAblationRCMOrdering measures the ordering optimization:
+// GSPMV on a label-shuffled matrix versus its RCM-reordered form.
+func BenchmarkAblationRCMOrdering(b *testing.B) {
+	fixtures(b)
+	// Shuffle the labels of the fixture matrix to destroy locality.
+	nb := fixMat.NB()
+	s := rng.New(14)
+	shuffle := make([]int, nb)
+	for i := range shuffle {
+		shuffle[i] = i
+	}
+	for i := nb - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		shuffle[i], shuffle[j] = shuffle[j], shuffle[i]
+	}
+	shuffled := reorder.Apply(fixMat, shuffle)
+	ordered := reorder.Apply(shuffled, reorder.RCM(shuffled))
+	const m = 8
+	x := multivec.New(fixMat.N(), m)
+	rng.New(15).FillNormal(x.Data)
+	y := multivec.New(fixMat.N(), m)
+	b.Run("shuffled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			shuffled.Mul(y, x)
+		}
+	})
+	b.Run("rcm-ordered", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ordered.Mul(y, x)
+		}
+	})
+}
+
+// BenchmarkExtIC0 measures the reused-preconditioner technique: IC(0)
+// factorization cost and the PCG iteration savings it buys.
+func BenchmarkExtIC0(b *testing.B) {
+	fixtures(b)
+	b.Run("factorize", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := solver.NewIC0(fixMat); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ic, err := solver.NewIC0(fixMat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := make([]float64, fixMat.N())
+	rng.New(16).FillNormal(rhs)
+	b.Run("pcg", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			x := make([]float64, fixMat.N())
+			if st := solver.CG(fixMat, x, rhs, solver.Options{Precond: ic}); !st.Converged {
+				b.Fatal("pcg stalled")
+			}
+		}
+	})
+	b.Run("plain-cg", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			x := make([]float64, fixMat.N())
+			if st := solver.CG(fixMat, x, rhs, solver.Options{}); !st.Converged {
+				b.Fatal("cg stalled")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationBlockFormat quantifies the natural 3x3 block
+// structure the paper relies on (Section IV-A1): BCRS versus scalar
+// CSR on the same matrix, single vector and a block of 8.
+func BenchmarkAblationBlockFormat(b *testing.B) {
+	fixtures(b)
+	csr := bcrs.NewCSR(fixMat)
+	x1 := make([]float64, fixMat.N())
+	rng.New(17).FillNormal(x1)
+	y1 := make([]float64, fixMat.N())
+	b.Run("bcrs-spmv", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fixMat.MulVec(y1, x1)
+		}
+	})
+	b.Run("csr-spmv", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			csr.MulVec(y1, x1)
+		}
+	})
+	const m = 8
+	x := multivec.New(fixMat.N(), m)
+	rng.New(18).FillNormal(x.Data)
+	y := multivec.New(fixMat.N(), m)
+	b.Run("bcrs-gspmv", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fixMat.Mul(y, x)
+		}
+	})
+	b.Run("csr-gspmv", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			csr.Mul(y, x)
+		}
+	})
+}
+
+// BenchmarkAblationCacheBlocking measures the paper's cache-blocking
+// optimization at a vector count whose X working set overflows the
+// cache.
+func BenchmarkAblationCacheBlocking(b *testing.B) {
+	fixtures(b)
+	const m = 32
+	x := multivec.New(fixMat.N(), m)
+	rng.New(19).FillNormal(x.Data)
+	y := multivec.New(fixMat.N(), m)
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fixMat.Mul(y, x)
+		}
+	})
+	for _, bands := range []int{2, 4, 8} {
+		cb := bcrs.NewCacheBlocked(fixMat, bands)
+		b.Run(fmt.Sprintf("bands=%d", bands), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cb.Mul(y, x)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationNeighborList measures the Verlet-list amortization
+// of matrix assembly across drifting configurations.
+func BenchmarkAblationNeighborList(b *testing.B) {
+	fixtures(b)
+	opt := hydro.Options{Phi: 0.5}.WithDefaults()
+	cutoff := hydro.SearchCutoff(fixSys, opt)
+	drift := func(s *particles.System, step int) {
+		u := make([]float64, 3*s.N)
+		rng.New(uint64(step)).FillNormal(u)
+		s.Displace(u, 0.01) // tiny drift, well inside the skin
+	}
+	b.Run("rebuild-every-step", func(b *testing.B) {
+		sys := fixSys.Clone()
+		for i := 0; i < b.N; i++ {
+			drift(sys, i)
+			hydro.Build(sys, opt)
+		}
+	})
+	b.Run("verlet-list", func(b *testing.B) {
+		sys := fixSys.Clone()
+		list := neighbor.NewList(sys.Box, cutoff, 0.05*cutoff)
+		for i := 0; i < b.N; i++ {
+			drift(sys, i)
+			hydro.BuildWithList(sys, opt, list)
+		}
+	})
+}

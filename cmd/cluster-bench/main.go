@@ -1,0 +1,163 @@
+// Command cluster-bench sweeps the simulated distributed-memory
+// GSPMV: relative time r(m, p) and communication fractions on the
+// modeled InfiniBand cluster, with the functional layer verifying the
+// halo-exchange result against the serial kernel.
+//
+// Example:
+//
+//	cluster-bench -n 20000 -bpr 5.6 -nodes 1,4,16,64 -m 1,8,32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+	"repro/internal/multivec"
+	"repro/internal/partition"
+	"repro/internal/rng"
+	"repro/internal/solver"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 10000, "particles (block rows) of the SD matrix")
+		bpr     = flag.Float64("bpr", 5.6, "target blocks per row")
+		nodesF  = flag.String("nodes", "1,4,16,64", "node counts")
+		msF     = flag.String("m", "1,2,4,8,16,32", "vector counts")
+		seed    = flag.Uint64("seed", 1, "seed")
+		verify  = flag.Bool("verify", true, "run the functional distributed multiply and check against serial")
+		overlap = flag.Bool("overlap", true, "model communication/computation overlap")
+		solve   = flag.Bool("solve", false, "also run a distributed block-CG solve (the MRHS augmented system) on the largest node count")
+		detail  = flag.Bool("detail", false, "print per-node load/communication detail for the largest node count")
+	)
+	flag.Parse()
+
+	nodes := mustInts(*nodesF)
+	ms := mustInts(*msF)
+
+	a, sys, cutoff, err := experiments.GenMatrix(
+		experiments.MatSpec{Name: "bench", TargetBPR: *bpr, Phi: 0.4}, *n, *seed, 1)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("matrix: nb=%d nnzb/nb=%.1f (cutoff xi=%.3f)\n", a.NB(), a.BlocksPerRow(), cutoff)
+
+	cm := cluster.PaperCost()
+	cm.Overlap = *overlap
+
+	fmt.Printf("\nrelative time r(m, p):\n%-5s", "m")
+	for _, p := range nodes {
+		fmt.Printf(" p=%-6d", p)
+	}
+	fmt.Println()
+	clusters := map[int]*cluster.Cluster{}
+	for _, p := range nodes {
+		r := partition.Coordinate(a, sys.Pos, sys.Box, p, 0)
+		cl, err := cluster.New(a, r.Part, p)
+		if err != nil {
+			fail(err)
+		}
+		clusters[p] = cl
+	}
+	for _, m := range ms {
+		fmt.Printf("%-5d", m)
+		for _, p := range nodes {
+			fmt.Printf(" %-8.2f", clusters[p].RelativeTime(m, cm))
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\ncommunication fraction:\n%-5s", "m")
+	for _, p := range nodes {
+		fmt.Printf(" p=%-6d", p)
+	}
+	fmt.Println()
+	for _, m := range ms {
+		fmt.Printf("%-5d", m)
+		for _, p := range nodes {
+			fmt.Printf(" %-8s", fmt.Sprintf("%.0f%%", 100*clusters[p].Estimate(m, cm).CommFraction))
+		}
+		fmt.Println()
+	}
+
+	if *detail {
+		p := nodes[len(nodes)-1]
+		m := 8
+		fmt.Printf("\nper-node detail (p=%d, m=%d):\n%-6s %-8s %-8s %-6s %-10s %-12s %-12s\n",
+			p, m, "node", "rows", "nnzb", "msgs", "halo rows", "compute", "comm")
+		for _, ne := range clusters[p].NodeEstimates(m, cm) {
+			fmt.Printf("%-6d %-8d %-8d %-6d %-10d %-12s %-12s\n",
+				ne.Node, ne.Rows, ne.NNZB, ne.Messages, ne.HaloRows,
+				fmt.Sprintf("%.1fus", ne.ComputeSec*1e6), fmt.Sprintf("%.1fus", ne.CommSec*1e6))
+		}
+	}
+
+	if *solve {
+		p := nodes[len(nodes)-1]
+		m := 8
+		if len(ms) > 0 && ms[len(ms)-1] < m {
+			m = ms[len(ms)-1]
+		}
+		b := multivec.New(a.N(), m)
+		rng.New(*seed + 1).FillNormal(b.Data)
+		x := multivec.New(a.N(), m)
+		t0 := time.Now()
+		st := solver.BlockCG(clusters[p], x, b, solver.Options{Tol: 1e-8})
+		fmt.Printf("\ndistributed block CG (p=%d, m=%d): converged=%v in %d iterations (%d distributed GSPMVs, %v)\n",
+			p, m, st.Converged, st.Iterations, st.MatMuls, time.Since(t0).Round(time.Millisecond))
+		ref := multivec.New(a.N(), m)
+		solver.BlockCG(a, ref, b, solver.Options{Tol: 1e-8})
+		var worst float64
+		for i := range x.Data {
+			if d := math.Abs(x.Data[i] - ref.Data[i]); d > worst {
+				worst = d
+			}
+		}
+		fmt.Printf("max |distributed - serial solution| = %.2e\n", worst)
+	}
+
+	if *verify {
+		p := nodes[len(nodes)-1]
+		m := ms[len(ms)-1]
+		x := multivec.New(a.N(), m)
+		rng.New(*seed).FillNormal(x.Data)
+		yd := multivec.New(a.N(), m)
+		clusters[p].Mul(yd, x)
+		ys := multivec.New(a.N(), m)
+		a.Mul(ys, x)
+		var worst float64
+		for i := range yd.Data {
+			if d := math.Abs(yd.Data[i] - ys.Data[i]); d > worst {
+				worst = d
+			}
+		}
+		fmt.Printf("\nfunctional check (p=%d, m=%d): max |distributed - serial| = %.2e\n", p, m, worst)
+		if worst > 1e-9 {
+			fail(fmt.Errorf("functional distributed multiply diverged"))
+		}
+	}
+}
+
+func mustInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			fail(fmt.Errorf("bad integer %q", part))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cluster-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// Command gspmv-bench measures single-node GSPMV performance:
+// achieved relative times r(m) against the Section IV-B model, plus
+// achieved GB/s and Gflop/s.
+//
+// Example:
+//
+//	gspmv-bench -nb 50000 -bpr 24.9 -max-m 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bcrs"
+	"repro/internal/model"
+	"repro/internal/perf"
+)
+
+func main() {
+	var (
+		nb      = flag.Int("nb", 30000, "block rows of the benchmark matrix")
+		bpr     = flag.Float64("bpr", 24.9, "target non-zero blocks per block row")
+		msFlag  = flag.String("m", "1,2,4,8,12,16,24,32,42", "comma-separated vector counts")
+		seed    = flag.Uint64("seed", 1, "matrix seed")
+		threads = flag.Int("threads", 1, "kernel threads")
+		k       = flag.Float64("k", 3, "model k(m): extra X accesses per element")
+	)
+	flag.Parse()
+
+	ms, err := parseInts(*msFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gspmv-bench:", err)
+		os.Exit(1)
+	}
+
+	a := bcrs.Random(bcrs.RandomOptions{NB: *nb, BlocksPerRow: *bpr, Seed: *seed})
+	a.SetThreads(*threads)
+	st := a.Stats()
+	fmt.Printf("matrix: nb=%d nnzb=%d nnzb/nb=%.1f (%.1f MiB)\n",
+		st.NB, st.NNZB, st.BlocksPerRow, float64(st.Bytes)/(1<<20))
+
+	host := perf.CalibratedMachine()
+	fmt.Printf("host: B=%.2f GB/s F=%.2f Gflops (B/F=%.2f)\n",
+		host.B/1e9, host.F/1e9, host.ByteFlopRatio())
+
+	g := model.GSPMV{Machine: host, Shape: model.Shape{NB: a.NB(), NNZB: a.NNZB()}, K: model.ConstK(*k)}
+	t1 := perf.TimeMultiply(a, 1, 0)
+	fmt.Printf("\n%-5s %-12s %-10s %-10s %-8s %-8s\n", "m", "time/mul", "r(m)", "model r", "GB/s", "Gflops")
+	for _, m := range ms {
+		r := perf.MeasureRates(a, m, *k)
+		fmt.Printf("%-5d %-12s %-10.2f %-10.2f %-8.1f %-8.1f\n",
+			m, fmt.Sprintf("%.3fms", r.Secs*1e3), r.Secs/t1, g.RelativeTime(m), r.GBps, r.Gflops)
+	}
+	fmt.Printf("\nmodel switch point m_s = %d (bandwidth -> compute bound)\n", g.MSwitch(256))
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad vector count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

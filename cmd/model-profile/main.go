@@ -1,0 +1,84 @@
+// Command model-profile explores the Section IV-B analytic model
+// without running any kernels: the Figure 1 vectors-at-2x profile,
+// r(m) curves for arbitrary (B, F, nnzb/nb), and the Eq. 9-12 MRHS
+// step-time model with its m_s / m_optimal predictions.
+//
+// Example:
+//
+//	model-profile -profile
+//	model-profile -bpr 24.9 -B 23e9 -F 45e9 -max-m 42
+//	model-profile -mrhs -N 162 -N1 80 -N2 63
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/model"
+)
+
+func main() {
+	var (
+		profile = flag.Bool("profile", false, "print the Figure 1 profile grid")
+		mrhs    = flag.Bool("mrhs", false, "print the Eq. 9 MRHS step-time curve")
+		bpr     = flag.Float64("bpr", 25, "blocks per block row")
+		nb      = flag.Int("nb", 300000, "block rows")
+		bw      = flag.Float64("B", model.WSM.B, "memory bandwidth, bytes/s")
+		fl      = flag.Float64("F", model.WSM.F, "kernel flop rate, flop/s")
+		k       = flag.Float64("k", 3, "k(m) cache-miss factor")
+		maxM    = flag.Int("max-m", 42, "largest vector count")
+		bigN    = flag.Int("N", 162, "cold-solve iterations (MRHS model)")
+		n1      = flag.Int("N1", 80, "warm first-solve iterations")
+		n2      = flag.Int("N2", 63, "second-solve iterations")
+		cmax    = flag.Int("Cmax", 30, "Chebyshev order")
+	)
+	flag.Parse()
+
+	g := model.GSPMV{
+		Machine: model.Machine{B: *bw, F: *fl},
+		Shape:   model.Shape{NB: *nb, NNZB: int(float64(*nb) * *bpr)},
+		K:       model.ConstK(*k),
+	}
+
+	if *profile {
+		bprs := []float64{6, 12, 18, 24, 30, 36, 42, 48, 54, 60, 66, 72, 78, 84}
+		bofs := []float64{0.02, 0.06, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6}
+		grid := model.Fig1Profile(bprs, bofs, 512)
+		fmt.Printf("vectors multipliable in 2x single-vector time (rows: nnzb/nb, cols: B/F)\n")
+		fmt.Printf("%8s", "")
+		for _, bf := range bofs {
+			fmt.Printf("%7.2f", bf)
+		}
+		fmt.Println()
+		for i, b := range bprs {
+			fmt.Printf("%8.0f", b)
+			for j := range bofs {
+				fmt.Printf("%7d", grid[i][j])
+			}
+			fmt.Println()
+		}
+		return
+	}
+
+	if *mrhs {
+		p := model.MRHS{GSPMV: g, N: *bigN, N1: *n1, N2: *n2, Cmax: *cmax}
+		fmt.Printf("MRHS step-time model: N=%d N1=%d N2=%d Cmax=%d, B/F=%.2f, nnzb/nb=%.1f\n",
+			p.N, p.N1, p.N2, p.Cmax, g.Machine.ByteFlopRatio(), g.Shape.BlocksPerRow())
+		fmt.Printf("%-5s %-12s %-12s %-10s\n", "m", "T_mrhs (s)", "speedup", "bound")
+		for m := 1; m <= *maxM; m++ {
+			fmt.Printf("%-5d %-12.4g %-12.3f %-10s\n", m, p.StepTime(m), p.Speedup(m), g.Bound(m))
+		}
+		fmt.Printf("\nm_s = %d, m_optimal = %d, best speedup %.2fx\n",
+			g.MSwitch(*maxM), p.MOptimal(*maxM), p.Speedup(p.MOptimal(*maxM)))
+		return
+	}
+
+	fmt.Printf("GSPMV model: B=%.1f GB/s, F=%.1f Gflops (B/F=%.2f), nnzb/nb=%.1f, k=%.1f\n",
+		g.Machine.B/1e9, g.Machine.F/1e9, g.Machine.ByteFlopRatio(), g.Shape.BlocksPerRow(), *k)
+	fmt.Printf("%-5s %-10s %-12s %-12s %-10s\n", "m", "r(m)", "Tbw (s)", "Tcomp (s)", "bound")
+	for m := 1; m <= *maxM; m++ {
+		fmt.Printf("%-5d %-10.2f %-12.4g %-12.4g %-10s\n",
+			m, g.RelativeTime(m), g.Tbw(m), g.Tcomp(m), g.Bound(m))
+	}
+	fmt.Printf("\nvectors within 2x: %d; m_s = %d\n", g.VectorsAtRatio(2, 512), g.MSwitch(512))
+}

@@ -1,0 +1,106 @@
+// Blocksolver: the "natural" multiple-right-hand-side case the paper
+// contrasts with its own (Section I) — all right-hand sides available
+// simultaneously, as in uncertainty quantification where solutions
+// for many perturbed force vectors are wanted at once.
+//
+// It solves R X = B for a block of perturbed right-hand sides two
+// ways: m independent CG solves (m SPMVs per iteration-equivalent)
+// versus one block CG solve (one GSPMV per iteration), and reports
+// the kernel-level win.
+//
+// Run with: go run ./examples/blocksolver
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/hydro"
+	"repro/internal/multivec"
+	"repro/internal/particles"
+	"repro/internal/rng"
+	"repro/internal/solver"
+)
+
+func main() {
+	const (
+		n   = 6000
+		phi = 0.45
+		m   = 8
+	)
+	sys, err := particles.New(particles.Options{N: n, Phi: phi, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A generous cutoff makes the matrix denser (and larger than the
+	// cache), the regime where GSPMV's bandwidth amortization pays.
+	r := hydro.Build(sys, hydro.Options{Phi: phi, CutoffXi: 3})
+	fmt.Printf("resistance matrix: %d x %d, %.1f blocks/row\n", r.N(), r.N(), r.BlocksPerRow())
+
+	// A base force vector and m-1 perturbations of it: the classic
+	// multiple-RHS structure of uncertainty quantification.
+	s := rng.New(9)
+	base := make([]float64, r.N())
+	s.FillNormal(base)
+	b := multivec.New(r.N(), m)
+	for j := 0; j < m; j++ {
+		col := append([]float64(nil), base...)
+		if j > 0 {
+			pert := make([]float64, r.N())
+			s.FillNormal(pert)
+			for i := range col {
+				col[i] += 0.1 * pert[i]
+			}
+		}
+		b.SetCol(j, col)
+	}
+	opts := solver.Options{Tol: 1e-8}
+
+	// m independent CG solves.
+	t0 := time.Now()
+	var cgIters, cgMuls int
+	xSep := multivec.New(r.N(), m)
+	for j := 0; j < m; j++ {
+		x := make([]float64, r.N())
+		st := solver.CG(r, x, b.ColVector(j), opts)
+		if !st.Converged {
+			log.Fatalf("CG column %d did not converge", j)
+		}
+		cgIters += st.Iterations
+		cgMuls += st.MatMuls
+		xSep.SetCol(j, x)
+	}
+	tSep := time.Since(t0)
+
+	// One block CG solve.
+	t0 = time.Now()
+	xBlk := multivec.New(r.N(), m)
+	st := solver.BlockCG(r, xBlk, b, opts)
+	tBlk := time.Since(t0)
+	if !st.Converged {
+		log.Fatal("block CG did not converge")
+	}
+
+	// The two solution sets must agree.
+	var worst float64
+	for i := range xSep.Data {
+		if d := abs(xSep.Data[i] - xBlk.Data[i]); d > worst {
+			worst = d
+		}
+	}
+
+	fmt.Printf("\n%-22s %-12s %-14s %-12s\n", "method", "wall time", "iterations", "kernel calls")
+	fmt.Printf("%-22s %-12v %-14d %d x SPMV\n", fmt.Sprintf("%d separate CG", m), tSep.Round(time.Millisecond), cgIters, cgMuls)
+	fmt.Printf("%-22s %-12v %-14d %d x GSPMV(m=%d)\n", "block CG (O'Leary)", tBlk.Round(time.Millisecond), st.Iterations, st.MatMuls, m)
+	fmt.Printf("\nsolutions agree to %.1e; block speedup %.2fx\n", worst, tSep.Seconds()/tBlk.Seconds())
+	fmt.Println("\nblock CG also converges in fewer iterations (it searches an m-times larger")
+	fmt.Println("Krylov space per step) — on top of each iteration being one GSPMV instead of m SPMVs.")
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

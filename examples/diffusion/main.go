@@ -1,0 +1,99 @@
+// Diffusion: extract a physical observable — the mean-squared
+// displacement (MSD) and short-time self-diffusion coefficient — from
+// SD trajectories, and confirm the MRHS algorithm changes the cost of
+// the simulation without changing its physics: run on identical noise
+// streams, both algorithms yield the same MSD curve.
+//
+// Run with: go run ./examples/diffusion
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/hydro"
+	"repro/internal/particles"
+	"repro/internal/sd"
+)
+
+// msdTracker accumulates unwrapped displacements from the OnStep
+// observer (positions in the box wrap; displacements must not).
+type msdTracker struct {
+	disp []float64 // 3N accumulated displacement
+	msd  []float64 // MSD after each step
+}
+
+func newTracker(n int) *msdTracker {
+	return &msdTracker{disp: make([]float64, 3*n)}
+}
+
+func (t *msdTracker) observe(step int, u []float64, dt float64) {
+	for i := range t.disp {
+		t.disp[i] += dt * u[i]
+	}
+	var sum float64
+	n := len(t.disp) / 3
+	for i := 0; i < n; i++ {
+		dx, dy, dz := t.disp[3*i], t.disp[3*i+1], t.disp[3*i+2]
+		sum += dx*dx + dy*dy + dz*dz
+	}
+	t.msd = append(t.msd, sum/float64(n))
+}
+
+func main() {
+	const (
+		n     = 300
+		phi   = 0.3
+		steps = 24
+		dt    = 2.0
+	)
+	sys, err := particles.New(particles.Options{N: n, Phi: phi, Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.Config{Dt: dt, M: 8, Seed: 2012, Tol: 1e-10}
+
+	run := func(mrhs bool) *msdTracker {
+		sim := sd.New(sys.Clone(), hydro.Options{Phi: phi}, cfg, 1)
+		tr := newTracker(n)
+		sim.OnStep = tr.observe
+		var err error
+		if mrhs {
+			err = sim.RunMRHS(steps)
+		} else {
+			err = sim.RunOriginal(steps)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		return tr
+	}
+
+	orig := run(false)
+	mrhs := run(true)
+
+	fmt.Printf("MSD vs time (%d particles, phi=%.1f):\n", n, phi)
+	fmt.Printf("%-8s %-14s %-14s %-10s\n", "t (ps)", "MSD original", "MSD MRHS", "rel diff")
+	var worst float64
+	for s := 0; s < steps; s++ {
+		a, b := orig.msd[s], mrhs.msd[s]
+		rel := math.Abs(a-b) / a
+		if rel > worst {
+			worst = rel
+		}
+		if (s+1)%4 == 0 {
+			fmt.Printf("%-8.0f %-14.5g %-14.5g %-10.2e\n", float64(s+1)*dt, a, b, rel)
+		}
+	}
+
+	// Short-time self-diffusion: MSD = 6 D t.
+	d := orig.msd[steps-1] / (6 * float64(steps) * dt)
+	fmt.Printf("\nshort-time self-diffusion D = %.4g A^2/ps (units: kT and viscosity normalized to 1)\n", d)
+	fmt.Printf("max relative MSD difference between algorithms: %.2e\n", worst)
+	if worst > 1e-6 {
+		log.Fatal("algorithms disagree beyond solver tolerance — physics changed!")
+	}
+	fmt.Println("identical noise + converged solves => identical physics; MRHS only changes the cost.")
+}

@@ -1,0 +1,67 @@
+// Distributed: a full MRHS Stokesian dynamics run in which every
+// matrix multiply — the block solve for the guesses, the warm-started
+// CG solves, and the Chebyshev Brownian-force recurrence — executes
+// across a simulated multi-node cluster with halo exchange, then is
+// checked against the single-node run.
+//
+// The paper stops short of this ("We do not currently have a
+// distributed memory SD simulation code", Section V-A) and argues the
+// GSPMV results transfer; this example is that code at the functional
+// level, demonstrating the claim: identical physics, with the
+// communication pattern of the multi-node experiments.
+//
+// Run with: go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/hydro"
+	"repro/internal/particles"
+	"repro/internal/sd"
+)
+
+func main() {
+	const (
+		n     = 300
+		phi   = 0.4
+		nodes = 8
+		steps = 12
+	)
+	mk := func() *particles.System {
+		sys, err := particles.New(particles.Options{N: n, Phi: phi, Seed: 9})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return sys
+	}
+	cfg := core.Config{Dt: 2, M: 6, Seed: 2026, Tol: 1e-10}
+
+	serial := sd.New(mk(), hydro.Options{Phi: phi}, cfg, 1)
+	if err := serial.RunMRHS(steps); err != nil {
+		log.Fatal(err)
+	}
+	dist := sd.NewDistributed(mk(), hydro.Options{Phi: phi}, cfg, nodes)
+	if err := dist.RunMRHS(steps); err != nil {
+		log.Fatal(err)
+	}
+
+	var worst float64
+	for i := range serial.System().Pos {
+		if d := serial.System().Pos[i].Sub(dist.System().Pos[i]).Norm(); d > worst {
+			worst = d
+		}
+	}
+	sRep, dRep := serial.Report(), dist.Report()
+	fmt.Printf("%d particles, %d steps, MRHS m=%d, %d simulated nodes\n\n", n, steps, 6, nodes)
+	fmt.Printf("%-22s %-18s %-18s\n", "", "single node", fmt.Sprintf("%d nodes", nodes))
+	fmt.Printf("%-22s %-18.1f %-18.1f\n", "mean first-solve iters", sRep.MeanFirstIters, dRep.MeanFirstIters)
+	fmt.Printf("%-22s %-18.1f %-18.1f\n", "mean second-solve iters", sRep.MeanSecondIters, dRep.MeanSecondIters)
+	fmt.Printf("\nmax position difference after %d steps: %.2e Angstroms\n", steps, worst)
+	if worst > 1e-5 {
+		log.Fatal("distributed trajectory diverged")
+	}
+	fmt.Println("every multiply crossed node boundaries via halo exchange; the physics is unchanged.")
+}

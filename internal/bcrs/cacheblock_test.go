@@ -1,0 +1,74 @@
+package bcrs
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/multivec"
+)
+
+func TestCacheBlockedMatchesPlain(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	a := randMatrix(rnd, 80, 0.2)
+	for _, bands := range []int{1, 2, 3, 7, 80, 200} {
+		cb := NewCacheBlocked(a, bands)
+		for _, m := range []int{1, 4, 8} {
+			x := multivec.New(a.N(), m)
+			for i := range x.Data {
+				x.Data[i] = rnd.NormFloat64()
+			}
+			y := multivec.New(a.N(), m)
+			cb.Mul(y, x)
+			ref := multivec.New(a.N(), m)
+			a.Mul(ref, x)
+			for i := range y.Data {
+				if !almostEqual(y.Data[i], ref.Data[i], 1e-12) {
+					t.Fatalf("bands=%d m=%d: cache-blocked result differs", bands, m)
+				}
+			}
+		}
+	}
+}
+
+func TestCacheBlockedPreservesAllBlocks(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2))
+	a := randMatrix(rnd, 50, 0.3)
+	cb := NewCacheBlocked(a, 5)
+	total := 0
+	for b := 0; b < cb.Bands(); b++ {
+		total += len(cb.colIdx[b])
+	}
+	if total != a.NNZB() {
+		t.Fatalf("banded view holds %d blocks, source has %d", total, a.NNZB())
+	}
+}
+
+func TestCacheBlockedMulVec(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	a := randMatrix(rnd, 40, 0.25)
+	cb := NewCacheBlocked(a, 4)
+	x := make([]float64, a.N())
+	for i := range x {
+		x[i] = rnd.NormFloat64()
+	}
+	y := make([]float64, a.N())
+	cb.MulVec(y, x)
+	ref := make([]float64, a.N())
+	a.MulVec(ref, x)
+	for i := range y {
+		if !almostEqual(y[i], ref[i], 1e-12) {
+			t.Fatal("cache-blocked MulVec differs")
+		}
+	}
+}
+
+func TestCacheBlockedRejectsRectangular(t *testing.T) {
+	b := NewBuilderRect(2, 3)
+	b.AddBlock(0, 0, [9]float64{1, 0, 0, 0, 1, 0, 0, 0, 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCacheBlocked(b.Build(), 2)
+}

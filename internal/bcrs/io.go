@@ -1,0 +1,120 @@
+package bcrs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/blas"
+)
+
+// WriteMatrixMarket writes the matrix in MatrixMarket coordinate
+// format (1-based scalar indices, general symmetry field so every
+// stored entry appears explicitly). Zero entries inside stored blocks
+// are skipped.
+func (a *Matrix) WriteMatrixMarket(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n"); err != nil {
+		return err
+	}
+	// Count the scalar non-zeros that will actually be emitted.
+	count := 0
+	for _, v := range a.vals {
+		if v != 0 {
+			count++
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", a.N(), a.NCols(), count); err != nil {
+		return err
+	}
+	for i := 0; i < a.nb; i++ {
+		lo, hi := a.RowBlocks(i)
+		for k := lo; k < hi; k++ {
+			j := int(a.colIdx[k])
+			blk := a.vals[k*BlockSize : (k+1)*BlockSize]
+			for r := 0; r < BlockDim; r++ {
+				for c := 0; c < BlockDim; c++ {
+					v := blk[r*BlockDim+c]
+					if v == 0 {
+						continue
+					}
+					if _, err := fmt.Fprintf(bw, "%d %d %.17g\n",
+						i*BlockDim+r+1, j*BlockDim+c+1, v); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket parses a coordinate-format MatrixMarket file whose
+// dimensions are divisible by the block size, accumulating entries
+// into 3x3 blocks. Duplicate entries are summed, matching the usual
+// MatrixMarket semantics for assembly output.
+func ReadMatrixMarket(r io.Reader) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	// Header line.
+	if !sc.Scan() {
+		return nil, fmt.Errorf("bcrs: empty MatrixMarket input")
+	}
+	head := strings.Fields(strings.ToLower(sc.Text()))
+	if len(head) < 4 || head[0] != "%%matrixmarket" || head[1] != "matrix" || head[2] != "coordinate" {
+		return nil, fmt.Errorf("bcrs: unsupported MatrixMarket header %q", sc.Text())
+	}
+	symmetric := len(head) >= 5 && head[4] == "symmetric"
+
+	// Skip comments; read the size line.
+	var rows, cols, nnz int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("bcrs: bad size line %q: %w", line, err)
+		}
+		break
+	}
+	if rows%BlockDim != 0 || cols%BlockDim != 0 {
+		return nil, fmt.Errorf("bcrs: dimensions %dx%d not divisible by %d", rows, cols, BlockDim)
+	}
+	b := NewBuilderRect(rows/BlockDim, cols/BlockDim)
+
+	add := func(i, j int, v float64) {
+		var blk blas.Mat3
+		blk[(i%BlockDim)*BlockDim+j%BlockDim] = v
+		b.AddBlock(i/BlockDim, j/BlockDim, blk)
+	}
+	read := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		var i, j int
+		var v float64
+		if _, err := fmt.Sscan(line, &i, &j, &v); err != nil {
+			return nil, fmt.Errorf("bcrs: bad entry %q: %w", line, err)
+		}
+		if i < 1 || i > rows || j < 1 || j > cols {
+			return nil, fmt.Errorf("bcrs: entry (%d,%d) out of range %dx%d", i, j, rows, cols)
+		}
+		add(i-1, j-1, v)
+		if symmetric && i != j {
+			add(j-1, i-1, v)
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if read != nnz {
+		return nil, fmt.Errorf("bcrs: size line promised %d entries, found %d", nnz, read)
+	}
+	return b.Build(), nil
+}

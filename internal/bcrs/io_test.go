@@ -1,0 +1,78 @@
+package bcrs
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randMatrix(rng, 20, 0.2)
+	var buf bytes.Buffer
+	if err := a.WriteMatrixMarket(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, db := a.Dense(), back.Dense()
+	if da.Rows != db.Rows || da.Cols != db.Cols {
+		t.Fatalf("dims changed: %dx%d vs %dx%d", da.Rows, da.Cols, db.Rows, db.Cols)
+	}
+	for i := range da.Data {
+		if da.Data[i] != db.Data[i] {
+			t.Fatalf("entry %d changed: %v vs %v", i, da.Data[i], db.Data[i])
+		}
+	}
+}
+
+func TestMatrixMarketSymmetricInput(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+% a comment
+6 6 3
+1 1 2.0
+4 1 -1.5
+6 6 3.0
+`
+	a, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := a.Dense()
+	if d.At(0, 0) != 2 || d.At(3, 0) != -1.5 || d.At(0, 3) != -1.5 || d.At(5, 5) != 3 {
+		t.Fatalf("symmetric expansion wrong")
+	}
+}
+
+func TestMatrixMarketRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad header":   "%%MatrixMarket matrix array real general\n2 2 0\n",
+		"bad dims":     "%%MatrixMarket matrix coordinate real general\n4 4 0\n",
+		"short count":  "%%MatrixMarket matrix coordinate real general\n6 6 2\n1 1 1.0\n",
+		"out of range": "%%MatrixMarket matrix coordinate real general\n6 6 1\n7 1 1.0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func TestMatrixMarketSumsDuplicates(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+3 3 2
+1 1 1.0
+1 1 2.5
+`
+	a, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Dense().At(0, 0); got != 3.5 {
+		t.Fatalf("duplicate sum = %v, want 3.5", got)
+	}
+}

@@ -1,0 +1,193 @@
+// Package chebyshev computes Brownian forces as the action of a
+// matrix square root, f = S(R)*z, where S is a shifted Chebyshev
+// polynomial approximation of sqrt on the spectrum of R (Fixman's
+// method, paper Section II-C).
+//
+// The matrix S(R) is never formed: applying a degree-C polynomial
+// costs C multiplications by R via the three-term Chebyshev
+// recurrence. When a block of noise vectors Z is available — as in
+// the MRHS algorithm's step 2, F^B = S(R_0)*Z — the recurrence runs
+// on multivectors and every multiplication is a GSPMV, which is
+// exactly where Algorithm 2 harvests its first batch of savings.
+//
+// The spectrum bracket [lmin, lmax] comes from the Gershgorin bound
+// (upper) and the far-field diagonal floor (lower); both are rigorous
+// for the sparse resistance matrix, so sqrt is approximated only
+// where eigenvalues can actually lie.
+package chebyshev
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/bcrs"
+	"repro/internal/multivec"
+)
+
+// Coefficients returns the first order+1 Chebyshev series
+// coefficients of f on [a, b], computed with the standard
+// Chebyshev-Gauss quadrature: interpolation at the order+1 Chebyshev
+// nodes. The series is
+//
+//	f(x) ~ c[0]/2 + sum_{j>=1} c[j] T_j(t),  t = (2x-(b+a))/(b-a).
+func Coefficients(f func(float64) float64, a, b float64, order int) []float64 {
+	if order < 0 {
+		panic("chebyshev: negative order")
+	}
+	np := order + 1
+	fv := make([]float64, np)
+	for k := 0; k < np; k++ {
+		// Chebyshev node t_k in (-1, 1), mapped to [a, b].
+		t := math.Cos(math.Pi * (float64(k) + 0.5) / float64(np))
+		fv[k] = f(0.5*(b-a)*t + 0.5*(b+a))
+	}
+	c := make([]float64, np)
+	for j := 0; j < np; j++ {
+		var s float64
+		for k := 0; k < np; k++ {
+			s += fv[k] * math.Cos(math.Pi*float64(j)*(float64(k)+0.5)/float64(np))
+		}
+		c[j] = 2 * s / float64(np)
+	}
+	return c
+}
+
+// Eval evaluates the truncated series at x via the Clenshaw
+// recurrence (a scalar reference used by tests and for picking
+// truncation orders).
+func Eval(c []float64, a, b, x float64) float64 {
+	t := (2*x - (b + a)) / (b - a)
+	var d, dd float64
+	for j := len(c) - 1; j >= 1; j-- {
+		d, dd = 2*t*d-dd+c[j], d
+	}
+	return t*d - dd + c[0]/2
+}
+
+// Op is the operator contract of the Chebyshev recurrence: one block
+// multiply per polynomial degree. *bcrs.Matrix satisfies it, and so
+// does the distributed cluster operator, which is how Brownian forces
+// are evaluated across simulated nodes.
+type Op interface {
+	// N returns the scalar dimension.
+	N() int
+	// Mul computes Y = A*X for a row-major block of vectors.
+	Mul(y, x *multivec.MultiVec)
+}
+
+// SqrtOp applies an approximate matrix square root of a symmetric
+// positive definite operator.
+type SqrtOp struct {
+	a          Op
+	lmin, lmax float64
+	c          []float64
+}
+
+// DefaultOrder is the paper's maximum Chebyshev polynomial order
+// (Section V-A): 30 sparse matrix-vector products per Brownian force
+// evaluation.
+const DefaultOrder = 30
+
+// NewSqrt builds the square-root operator for the SPD matrix a whose
+// spectrum lies in [lmin, lmax]. order is the polynomial degree
+// (DefaultOrder if <= 0). If tol > 0, the series is truncated at the
+// first tail whose coefficients all fall below tol*|c0| — the
+// adaptive-order optimization.
+func NewSqrt(a Op, lmin, lmax float64, order int, tol float64) (*SqrtOp, error) {
+	if !(lmin > 0) || !(lmax > lmin) {
+		return nil, errors.New("chebyshev: need 0 < lmin < lmax")
+	}
+	if order <= 0 {
+		order = DefaultOrder
+	}
+	c := Coefficients(math.Sqrt, lmin, lmax, order)
+	if tol > 0 {
+		thresh := tol * math.Abs(c[0])
+		cut := len(c)
+		for cut > 1 && math.Abs(c[cut-1]) < thresh {
+			cut--
+		}
+		c = c[:cut]
+	}
+	return &SqrtOp{a: a, lmin: lmin, lmax: lmax, c: c}, nil
+}
+
+// NewSqrtAuto brackets the spectrum automatically: the Gershgorin
+// upper bound and the provided floor for the lower bound (pass the
+// minimum far-field coefficient of the resistance matrix).
+func NewSqrtAuto(a *bcrs.Matrix, floor float64, order int, tol float64) (*SqrtOp, error) {
+	lo, hi := a.GershgorinInterval()
+	if lo > floor {
+		floor = lo
+	}
+	if !(floor > 0) {
+		return nil, errors.New("chebyshev: spectrum floor must be positive")
+	}
+	if hi <= floor {
+		hi = floor * (1 + 1e-6)
+	}
+	return NewSqrt(a, floor, hi, order, tol)
+}
+
+// Order returns the number of matrix multiplications one Apply
+// performs (the truncated polynomial degree).
+func (s *SqrtOp) Order() int { return len(s.c) - 1 }
+
+// Interval returns the spectral bracket the approximation was built
+// on.
+func (s *SqrtOp) Interval() (lmin, lmax float64) { return s.lmin, s.lmax }
+
+// ApplyBlock computes Y = S(A)*Z for a block of vectors using the
+// three-term recurrence
+//
+//	T_0 = Z,  T_1 = As*Z,  T_{j+1} = 2*As*T_j - T_{j-1}
+//
+// with As the affine shift of A onto [-1, 1]. Each step is one GSPMV
+// with Z.M vectors. Y and Z must not alias.
+func (s *SqrtOp) ApplyBlock(y, z *multivec.MultiVec) {
+	n := s.a.N()
+	if z.N != n || y.N != n || z.M != y.M {
+		panic("chebyshev: ApplyBlock dimension mismatch")
+	}
+	alpha := 2 / (s.lmax - s.lmin)                 // scale of the affine map
+	beta := -(s.lmax + s.lmin) / (s.lmax - s.lmin) // shift of the affine map
+
+	tPrev := z.Clone() // T_0 = Z
+	// Y = c0/2 * T_0.
+	y.CopyFrom(z)
+	y.Scale(s.c[0] / 2)
+	if len(s.c) == 1 {
+		return
+	}
+
+	// T_1 = As*Z = alpha*A*Z + beta*Z.
+	tCur := multivec.New(n, z.M)
+	s.a.Mul(tCur, z)
+	for i := range tCur.Data {
+		tCur.Data[i] = alpha*tCur.Data[i] + beta*z.Data[i]
+	}
+	addScaled(y, tCur, s.c[1])
+
+	scratch := multivec.New(n, z.M)
+	for j := 2; j < len(s.c); j++ {
+		// T_{j} = 2*As*T_{j-1} - T_{j-2}.
+		s.a.Mul(scratch, tCur)
+		for i := range scratch.Data {
+			scratch.Data[i] = 2*(alpha*scratch.Data[i]+beta*tCur.Data[i]) - tPrev.Data[i]
+		}
+		tPrev, tCur, scratch = tCur, scratch, tPrev
+		addScaled(y, tCur, s.c[j])
+	}
+}
+
+// Apply computes y = S(A)*z for a single vector (an SPMV per
+// polynomial degree).
+func (s *SqrtOp) Apply(y, z []float64) {
+	s.ApplyBlock(multivec.FromVector(y), multivec.FromVector(z))
+}
+
+func addScaled(y, x *multivec.MultiVec, c float64) {
+	for i := range y.Data {
+		y.Data[i] += c * x.Data[i]
+	}
+}

@@ -1,0 +1,37 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/multivec"
+)
+
+// TestEmptyNodesTolerated: a partition that leaves some nodes without
+// rows (p > nb, or degenerate geometry) must still multiply
+// correctly.
+func TestEmptyNodesTolerated(t *testing.T) {
+	a, _, _ := testMatrix(31, 6)
+	part := []int{0, 0, 1, 1, 2, 2} // nodes 3..7 empty
+	cl, err := New(a, part, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := multivec.New(a.N(), 3)
+	rnd := rand.New(rand.NewSource(32))
+	for i := range x.Data {
+		x.Data[i] = rnd.NormFloat64()
+	}
+	y := multivec.New(a.N(), 3)
+	cl.Mul(y, x)
+	ref := multivec.New(a.N(), 3)
+	a.Mul(ref, x)
+	for i := range y.Data {
+		if !almostEqual(y.Data[i], ref.Data[i], 1e-12) {
+			t.Fatal("empty-node multiply differs")
+		}
+	}
+	if est := cl.Estimate(4, PaperCost()); est.TotalSec <= 0 {
+		t.Fatalf("estimate with empty nodes: %+v", est)
+	}
+}

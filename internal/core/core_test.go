@@ -1,0 +1,320 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bcrs"
+	"repro/internal/blas"
+	"repro/internal/solver"
+)
+
+// toyConfig is a synthetic dynamical system used to exercise the
+// stepper independently of Stokesian dynamics: a fixed SPD coupling
+// structure whose diagonal strength depends smoothly on the state, so
+// the matrix evolves slowly as the state evolves — the property the
+// MRHS algorithm relies on.
+type toyConfig struct {
+	base  *bcrs.Matrix
+	state []float64
+}
+
+func newToy(nb int, seed uint64) *toyConfig {
+	return &toyConfig{
+		base:  bcrs.Random(bcrs.RandomOptions{NB: nb, BlocksPerRow: 5, Seed: seed}),
+		state: make([]float64, nb*3),
+	}
+}
+
+func (c *toyConfig) Dim() int { return c.base.N() }
+
+func (c *toyConfig) Build() *bcrs.Matrix {
+	nb := c.base.NB()
+	b := bcrs.NewBuilder(nb)
+	for i := 0; i < nb; i++ {
+		lo, hi := c.base.RowBlocks(i)
+		for k := lo; k < hi; k++ {
+			b.AddBlock(i, c.base.BlockCol(k), c.base.BlockAt(k))
+		}
+		// State-dependent diagonal: strictly positive, smooth.
+		s := c.state[3*i]
+		b.AddBlock(i, i, blas.Ident3().ScaleM(1+0.5*math.Sin(s)+0.5))
+	}
+	return b.Build()
+}
+
+func (c *toyConfig) SpectrumFloor() float64 { return 0.5 }
+
+func (c *toyConfig) Displaced(u []float64, dt float64) Configuration {
+	next := &toyConfig{base: c.base, state: append([]float64(nil), c.state...)}
+	for i := range next.state {
+		next.state[i] += dt * u[i]
+	}
+	return next
+}
+
+func TestConfigDefaults(t *testing.T) {
+	r := NewRunner(newToy(5, 1), Config{})
+	cfg := r.Cfg()
+	if cfg.Dt != 2 || cfg.M != 16 || cfg.Tol != 1e-6 || cfg.ChebOrder != 30 || cfg.ForceScale != 1 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+}
+
+func TestOriginalStepOnToySystem(t *testing.T) {
+	r := NewRunner(newToy(20, 2), Config{Dt: 0.1, Seed: 3})
+	if err := r.RunOriginal(4); err != nil {
+		t.Fatal(err)
+	}
+	if r.StepIndex() != 4 || r.Timings.Steps != 4 {
+		t.Fatalf("counters wrong: %d / %d", r.StepIndex(), r.Timings.Steps)
+	}
+	if r.Timings.ChebVectors != 0 || r.Timings.CalcGuesses != 0 {
+		t.Fatal("original algorithm must not accrue MRHS phases")
+	}
+	if r.Timings.ChebSingle <= 0 || r.Timings.FirstSolve <= 0 {
+		t.Fatal("phase timings missing")
+	}
+}
+
+func TestMRHSStepOnToySystem(t *testing.T) {
+	r := NewRunner(newToy(20, 4), Config{Dt: 0.1, M: 6, Seed: 5})
+	if err := r.RunMRHS(6); err != nil {
+		t.Fatal(err)
+	}
+	if r.Timings.ChebVectors <= 0 || r.Timings.CalcGuesses <= 0 {
+		t.Fatal("MRHS phases missing")
+	}
+	if len(r.Records) != 6 {
+		t.Fatalf("records %d", len(r.Records))
+	}
+}
+
+func TestNoiseIsStepIndexed(t *testing.T) {
+	// The same global step must receive the same noise regardless of
+	// algorithm — this is what makes the two trajectories comparable.
+	a := NewRunner(newToy(10, 6), Config{Seed: 7})
+	b := NewRunner(newToy(10, 6), Config{Seed: 7})
+	na := a.noise(3)
+	nb := b.noise(3)
+	for i := range na {
+		if na[i] != nb[i] {
+			t.Fatal("noise not reproducible")
+		}
+	}
+	nc := a.noise(4)
+	same := true
+	for i := range na {
+		if na[i] != nc[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different steps produced identical noise")
+	}
+}
+
+func TestForceScaleAppliesToNoise(t *testing.T) {
+	a := NewRunner(newToy(5, 8), Config{Seed: 9})
+	b := NewRunner(newToy(5, 8), Config{Seed: 9, ForceScale: 2})
+	na := a.noise(0)
+	nb := b.noise(0)
+	for i := range na {
+		if math.Abs(nb[i]-2*na[i]) > 1e-15 {
+			t.Fatal("ForceScale not applied")
+		}
+	}
+}
+
+func TestMRHSTrajectoryMatchesOriginalToy(t *testing.T) {
+	mk := func() *Runner { return NewRunner(newToy(15, 10), Config{Dt: 0.05, M: 4, Seed: 11, Tol: 1e-12}) }
+	o := mk()
+	m := mk()
+	if err := o.RunOriginal(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunMRHS(8); err != nil {
+		t.Fatal(err)
+	}
+	so := o.Current().(*toyConfig).state
+	sm := m.Current().(*toyConfig).state
+	for i := range so {
+		if math.Abs(so[i]-sm[i]) > 1e-6*(1+math.Abs(so[i])) {
+			t.Fatalf("toy trajectories diverged at %d: %v vs %v", i, so[i], sm[i])
+		}
+	}
+}
+
+func TestStepMRHSZeroSteps(t *testing.T) {
+	r := NewRunner(newToy(5, 12), Config{M: 4})
+	if err := r.StepMRHS(0); err != nil {
+		t.Fatal(err)
+	}
+	if r.StepIndex() != 0 {
+		t.Fatal("zero-step chunk advanced the runner")
+	}
+}
+
+func TestRelError(t *testing.T) {
+	if e := relError([]float64{1, 0}, []float64{1, 0}); e != 0 {
+		t.Fatalf("relError of identical vectors = %v", e)
+	}
+	if e := relError([]float64{3, 4}, []float64{0, 0}); math.Abs(e-1) > 1e-15 {
+		t.Fatalf("relError vs zero guess = %v, want 1", e)
+	}
+	if e := relError([]float64{0, 0}, []float64{1, 1}); e != 0 {
+		t.Fatalf("relError with zero solution = %v, want 0 (defined)", e)
+	}
+}
+
+func TestPerStepKeysMatchPhaseOrder(t *testing.T) {
+	r := NewRunner(newToy(10, 13), Config{Dt: 0.1, M: 2, Seed: 13})
+	if err := r.RunMRHS(2); err != nil {
+		t.Fatal(err)
+	}
+	per := r.Timings.PerStep()
+	for _, k := range PhaseOrder {
+		if _, ok := per[k]; !ok {
+			t.Fatalf("PerStep missing key %q", k)
+		}
+	}
+	if len(per) != len(PhaseOrder) {
+		t.Fatalf("PerStep has %d keys, PhaseOrder %d", len(per), len(PhaseOrder))
+	}
+}
+
+func TestPerStepEmptyBeforeRunning(t *testing.T) {
+	r := NewRunner(newToy(5, 14), Config{})
+	if r.Timings.PerStep() != nil {
+		t.Fatal("PerStep before any step must be nil")
+	}
+}
+
+func TestMaxIterPropagates(t *testing.T) {
+	// An absurdly small iteration cap must surface as an error, not
+	// silently wrong trajectories.
+	r := NewRunner(newToy(30, 15), Config{Dt: 0.1, Seed: 15, MaxIter: 1, Tol: 1e-14})
+	if err := r.StepOriginal(); err == nil {
+		t.Fatal("expected convergence failure with MaxIter=1")
+	}
+}
+
+func TestExternalForceDrivesMotion(t *testing.T) {
+	// A constant force on a toy system: with ForceScale tiny the
+	// noise is negligible and each step must move the state along
+	// +R^{-1} f (the mobility sign).
+	tc := newToy(8, 20)
+	force := make([]float64, tc.Dim())
+	for i := 0; i < len(force); i += 3 {
+		force[i] = 1 // +x on every block
+	}
+	r := NewRunner(tc, Config{
+		Dt: 0.1, Seed: 21, ForceScale: 1e-9,
+		ExternalForce: func(Configuration) []float64 { return force },
+	})
+	if err := r.RunOriginal(3); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Current().(*toyConfig).state
+	moved := 0
+	for i := 0; i < len(st); i += 3 {
+		if st[i] > 0 {
+			moved++
+		}
+	}
+	if moved < 6 {
+		t.Fatalf("only %d of 8 blocks moved along the force", moved)
+	}
+}
+
+func TestExternalForceMRHSMatchesOriginal(t *testing.T) {
+	force := func(c Configuration) []float64 {
+		// Configuration-dependent force: pull every coordinate
+		// toward zero (a harmonic trap).
+		st := c.(*toyConfig).state
+		f := make([]float64, len(st))
+		for i, v := range st {
+			f[i] = -0.5 * v
+		}
+		return f
+	}
+	mk := func() *Runner {
+		return NewRunner(newToy(12, 22), Config{
+			Dt: 0.05, M: 4, Seed: 23, Tol: 1e-12, ExternalForce: force,
+		})
+	}
+	o := mk()
+	m := mk()
+	if err := o.RunOriginal(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunMRHS(8); err != nil {
+		t.Fatal(err)
+	}
+	so := o.Current().(*toyConfig).state
+	sm := m.Current().(*toyConfig).state
+	for i := range so {
+		if math.Abs(so[i]-sm[i]) > 1e-6*(1+math.Abs(so[i])) {
+			t.Fatalf("forced trajectories diverged at %d: %v vs %v", i, so[i], sm[i])
+		}
+	}
+}
+
+func TestFirstSolveHookUsed(t *testing.T) {
+	calls := 0
+	r := NewRunner(newToy(6, 24), Config{
+		Dt: 0.1, Seed: 25,
+		FirstSolve: func(a *bcrs.Matrix, x, b []float64, opt solver.Options) solver.Stats {
+			calls++
+			return solver.CG(a, x, b, opt)
+		},
+	})
+	if err := r.RunOriginal(2); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("FirstSolve hook called %d times, want 2", calls)
+	}
+}
+
+// TestMidpointSecondOrder verifies the integrator's convergence
+// order on a smooth deterministic problem (noise suppressed, constant
+// external force, state-dependent matrix): halving dt must cut the
+// endpoint error by ~4x. The second-order property is why the paper
+// uses the midpoint method at all — a first-order integrator makes a
+// systematic drift error when R depends on the configuration
+// (Section II-C).
+func TestMidpointSecondOrder(t *testing.T) {
+	force := make([]float64, 8*3)
+	for i := range force {
+		force[i] = 0.7
+	}
+	endpoint := func(dt float64, steps int) []float64 {
+		r := NewRunner(newToy(8, 30), Config{
+			Dt: dt, Seed: 31, ForceScale: 1e-300, Tol: 1e-13,
+			ExternalForce: func(Configuration) []float64 { return force },
+		})
+		if err := r.RunOriginal(steps); err != nil {
+			t.Fatal(err)
+		}
+		return r.Current().(*toyConfig).state
+	}
+	const T = 1.6
+	ref := endpoint(T/64, 64) // fine-dt reference
+	errAt := func(n int) float64 {
+		st := endpoint(T/float64(n), n)
+		var e float64
+		for i := range st {
+			d := st[i] - ref[i]
+			e += d * d
+		}
+		return math.Sqrt(e)
+	}
+	e4 := errAt(4)
+	e8 := errAt(8)
+	ratio := e4 / e8
+	// Second order: ratio ~ 4. Allow slack for the reference error.
+	if ratio < 2.8 || ratio > 6 {
+		t.Fatalf("halving dt cut the error by %.2fx, want ~4 (second order)", ratio)
+	}
+}

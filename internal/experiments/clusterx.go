@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/partition"
+)
+
+func init() {
+	register("fig3", "multi-node relative time r(m, p) for mat1 and mat2", fig3)
+	register("fig4", "relative time vs node count for fixed m", fig4)
+	register("table3", "GSPMV communication time fractions for mat1", table3)
+}
+
+// clusterMats caches the larger matrices used by the multi-node
+// experiments (see Config.ClusterNB).
+var (
+	clusterMu    sync.Mutex
+	clusterCache = map[string]matEntry{}
+)
+
+// clusterFor partitions a Table I matrix (at cluster scale) over p
+// simulated nodes with the paper's coordinate-based scheme.
+func clusterFor(cfg Config, name string, p int) (*cluster.Cluster, error) {
+	clusterMu.Lock()
+	key := fmt.Sprintf("%s-%d-%d", name, cfg.ClusterNB, cfg.Seed)
+	e, ok := clusterCache[key]
+	if !ok {
+		var spec MatSpec
+		for _, s := range PaperMats {
+			if s.Name == name {
+				spec = s
+			}
+		}
+		a, sys, cutoff, err := GenMatrix(spec, cfg.ClusterNB, cfg.Seed, cfg.Threads)
+		if err != nil {
+			clusterMu.Unlock()
+			return nil, err
+		}
+		e = matEntry{a: a, pos: sys.Pos, box: sys.Box, cutoff: cutoff}
+		clusterCache[key] = e
+	}
+	clusterMu.Unlock()
+	// RCB gives the compact parts the paper's 3D-grid binning
+	// implies; the serpentine Coordinate sweep would inflate every
+	// node's surface (and with it the halo volume).
+	r := partition.RCB(e.a, e.pos, p)
+	return cluster.New(e.a, r.Part, p)
+}
+
+// fig3Nodes and fig3Ms are the sweeps of Figure 3.
+var (
+	fig3Nodes = []int{1, 4, 16, 64}
+	fig3Ms    = []int{1, 2, 4, 8, 16, 32}
+)
+
+func fig3(cfg Config) ([]*Table, error) {
+	cm := cluster.CalibratedPaperCost()
+	var tabs []*Table
+	for _, name := range []string{"mat1", "mat2"} {
+		t := &Table{
+			Title:  fmt.Sprintf("Figure 3: relative time r(m, p) for %s (modeled InfiniBand cluster)", name),
+			Header: append([]string{"m"}, mapInts(fig3Nodes, func(p int) string { return fmt.Sprintf("p=%d", p) })...),
+		}
+		curves := map[int][]float64{}
+		for _, p := range fig3Nodes {
+			cl, err := clusterFor(cfg, name, p)
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range fig3Ms {
+				curves[p] = append(curves[p], cl.RelativeTime(m, cm))
+			}
+		}
+		for i, m := range fig3Ms {
+			row := []string{fmtInt(m)}
+			for _, p := range fig3Nodes {
+				row = append(row, fmt.Sprintf("%.2f", curves[p][i]))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		t.Notes = append(t.Notes, "paper shape: curves for small p resemble p=1; at p=64 communication latency dominates and r(m) flattens below the single-node curve")
+		tabs = append(tabs, t)
+	}
+	return tabs, nil
+}
+
+func fig4(cfg Config) ([]*Table, error) {
+	cm := cluster.CalibratedPaperCost()
+	nodes := []int{1, 2, 4, 8, 16, 32, 64}
+	t := &Table{
+		Title:  "Figure 4: relative time vs number of nodes",
+		Header: []string{"nodes", "mat1 r(8)", "mat1 r(16)", "mat2 r(8)", "mat2 r(16)"},
+	}
+	for _, p := range nodes {
+		row := []string{fmtInt(p)}
+		for _, name := range []string{"mat1", "mat2"} {
+			cl, err := clusterFor(cfg, name, p)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.2f", cl.RelativeTime(8, cm)), fmt.Sprintf("%.2f", cl.RelativeTime(16, cm)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, "paper shape: relative time rises slightly with p, then falls once communication dominates")
+	return []*Table{t}, nil
+}
+
+func table3(cfg Config) ([]*Table, error) {
+	hw := cluster.PaperCost()
+	cal := cluster.CalibratedPaperCost()
+	t := &Table{
+		Title: "Table III: GSPMV communication time fractions, mat1",
+		Header: []string{"nodes",
+			"hw m=1", "hw m=8", "hw m=32",
+			"cal m=1", "cal m=8", "cal m=32",
+			"paper m=1", "paper m=8", "paper m=32"},
+	}
+	paper := map[int][3]string{
+		32: {"88%", "76%", "52%"},
+		64: {"97%", "90%", "67%"},
+	}
+	for _, p := range []int{32, 64} {
+		cl, err := clusterFor(cfg, "mat1", p)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmtInt(p)}
+		for _, cm := range []cluster.CostModel{hw, cal} {
+			for _, m := range []int{1, 8, 32} {
+				row = append(row, fmt.Sprintf("%.0f%%", 100*cl.Estimate(m, cm).CommFraction))
+			}
+		}
+		pp := paper[p]
+		row = append(row, pp[0], pp[1], pp[2])
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"hw: hardware-latency-only interconnect model; cal: plus a per-message software overhead calibrated on ONE paper cell (mat1/32 nodes/m=1)",
+		"the paper's own measurement was overhead-dominated ('mainly consumed by message-passing latency', Section IV-D3), which is why fractions fall with m there; the calibrated model reproduces that regime, the hardware model does not — see EXPERIMENTS.md")
+	return []*Table{t}, nil
+}
+
+func mapInts(vs []int, f func(int) string) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = f(v)
+	}
+	return out
+}

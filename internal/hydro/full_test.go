@@ -1,0 +1,99 @@
+package hydro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/particles"
+)
+
+func TestBuildFullSPD(t *testing.T) {
+	sys, opt := buildSmall(t, 30, 0.25, 21)
+	r, err := BuildFull(sys, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.IsSymmetric(1e-8 * r.MaxAbs()) {
+		t.Fatal("full resistance not symmetric")
+	}
+	if _, err := blas.Cholesky(r); err != nil {
+		t.Fatalf("full resistance not SPD: %v", err)
+	}
+}
+
+func TestBuildFullDominatedByLubricationNearContact(t *testing.T) {
+	// Two nearly-touching spheres: the squeeze resistance of the
+	// full formulation must be dominated by the lubrication term
+	// (which diverges as 1/gap), not the far-field part.
+	sep := 2.002 // gap 0.002 for unit spheres
+	sys := &particles.System{
+		N:      2,
+		Box:    200,
+		Pos:    []blas.Vec3{{50, 50, 50}, {50 + sep, 50, 50}},
+		Radius: []float64{1, 1},
+	}
+	opt := Options{Phi: 0.01}
+	full, err := BuildFull(sys, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lub := buildLubOnly(sys, opt)
+	ld := lub.Dense()
+	// Compare the squeeze diagonal entry (x-axis of particle 0).
+	if ld.At(0, 0) <= 0 {
+		t.Fatal("no lubrication at near contact")
+	}
+	ratio := full.At(0, 0) / ld.At(0, 0)
+	if ratio < 1 || ratio > 1.5 {
+		t.Fatalf("squeeze resistance ratio full/lub = %v, want slightly above 1", ratio)
+	}
+}
+
+func TestBuildFullVsSparseApproximation(t *testing.T) {
+	// The sparse approximation replaces (M^inf)^{-1} with muF*I. The
+	// two formulations must agree on the divergent near-field part:
+	// their difference is bounded while the matrices themselves grow
+	// as gaps close. Compare Rayleigh quotients along a squeeze mode
+	// of the closest pair.
+	// Dilute enough that minimum-image RPY keeps its positive
+	// definiteness (dense boxes need Ewald sums the paper also
+	// avoids).
+	sys, opt := buildSmall(t, 25, 0.15, 23)
+	full, err := BuildFull(sys, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse := Build(sys, opt).Dense()
+	// Random probe vectors: quotients within a modest factor.
+	v := make([]float64, full.Rows)
+	for trial := 0; trial < 5; trial++ {
+		for i := range v {
+			v[i] = math.Sin(float64(trial*len(v) + i)) // deterministic probe
+		}
+		fv := make([]float64, len(v))
+		sv := make([]float64, len(v))
+		full.MatVec(fv, v)
+		sparse.MatVec(sv, v)
+		qf := blas.Dot(v, fv)
+		qs := blas.Dot(v, sv)
+		if qf <= 0 || qs <= 0 {
+			t.Fatal("quotients must be positive (SPD)")
+		}
+		if r := qf / qs; r < 0.05 || r > 20 {
+			t.Fatalf("formulations disagree wildly: quotient ratio %v", r)
+		}
+	}
+}
+
+func TestBuildFullCoincidentParticlesError(t *testing.T) {
+	sys := &particles.System{
+		N:      2,
+		Box:    100,
+		Pos:    []blas.Vec3{{1, 1, 1}, {1, 1, 1}},
+		Radius: []float64{1, 1},
+	}
+	if _, err := BuildFull(sys, Options{Phi: 0.1}); err == nil {
+		t.Fatal("expected error for coincident particles")
+	}
+}

@@ -1,0 +1,86 @@
+package model
+
+// MRHS evaluates the end-to-end step-time model of Section V-B3
+// (Eq. 9-12) for Algorithm 2 with chunk size m.
+type MRHS struct {
+	GSPMV GSPMV
+	// N is the iteration count of a solve without an initial guess
+	// (the augmented block solve is assumed to need the same count).
+	N int
+	// N1 is the iteration count of the first midpoint solve when
+	// warm-started from the augmented-system solution.
+	N1 int
+	// N2 is the iteration count of the second midpoint solve, warm-
+	// started from the first. Typically N > N1 > N2.
+	N2 int
+	// Cmax is the maximum Chebyshev polynomial order (SPMV count of
+	// one Brownian-force evaluation); 30 in the paper.
+	Cmax int
+}
+
+// StepTime returns Tmrhs(m), the modeled average wall time of one
+// simulation step when chunks of m right-hand sides are processed
+// together (Eq. 9). m must be >= 1; m = 1 degenerates to the original
+// algorithm with warm-started second solves.
+func (p MRHS) StepTime(m int) float64 {
+	if m < 1 {
+		panic("model: MRHS chunk size must be >= 1")
+	}
+	tm := p.GSPMV.T(m)
+	t1 := p.GSPMV.T(1)
+	mm := float64(m)
+	total := float64(p.N)*tm + // Calc guesses: block solve of the augmented system
+		float64(p.Cmax)*tm + // Cheb vectors: S(R0)*Z with m vectors
+		(mm-1)*float64(p.N1)*t1 + // 1st solves with initial guesses
+		mm*float64(p.N2)*t1 + // 2nd solves
+		(mm-1)*float64(p.Cmax)*t1 // Cheb single for steps 1..m-1
+	return total / mm
+}
+
+// OriginalStepTime returns the modeled step time of the original
+// algorithm (Alg. 1): no guesses for the first solve (N iterations),
+// warm-started second solve (N2), one single-vector Chebyshev
+// evaluation.
+func (p MRHS) OriginalStepTime() float64 {
+	t1 := p.GSPMV.T(1)
+	return float64(p.N)*t1 + float64(p.N2)*t1 + float64(p.Cmax)*t1
+}
+
+// StepTimeBandwidth returns the bandwidth-branch estimate of Eq. 11:
+// Tmrhs evaluated with T(m) forced to its bandwidth bound. Valid for
+// m below the switch point.
+func (p MRHS) StepTimeBandwidth(m int) float64 {
+	return p.stepTimeWith(m, p.GSPMV.Tbw(m))
+}
+
+// StepTimeCompute returns the compute-branch estimate of Eq. 12:
+// Tmrhs evaluated with T(m) forced to its compute bound. Valid for m
+// at or above the switch point.
+func (p MRHS) StepTimeCompute(m int) float64 {
+	return p.stepTimeWith(m, p.GSPMV.Tcomp(m))
+}
+
+func (p MRHS) stepTimeWith(m int, tm float64) float64 {
+	t1 := p.GSPMV.T(1)
+	mm := float64(m)
+	total := float64(p.N)*tm + float64(p.Cmax)*tm +
+		(mm-1)*float64(p.N1)*t1 + mm*float64(p.N2)*t1 + (mm-1)*float64(p.Cmax)*t1
+	return total / mm
+}
+
+// MOptimal returns the m in [1, maxM] minimizing StepTime.
+func (p MRHS) MOptimal(maxM int) int {
+	best, bestT := 1, p.StepTime(1)
+	for m := 2; m <= maxM; m++ {
+		if t := p.StepTime(m); t < bestT {
+			best, bestT = m, t
+		}
+	}
+	return best
+}
+
+// Speedup returns the modeled speedup of the MRHS algorithm at chunk
+// size m over the original algorithm.
+func (p MRHS) Speedup(m int) float64 {
+	return p.OriginalStepTime() / p.StepTime(m)
+}

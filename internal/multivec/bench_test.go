@@ -1,0 +1,61 @@
+package multivec
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/blas"
+)
+
+func benchOperands(n, m int) (*MultiVec, *MultiVec, *blas.Dense) {
+	x := New(n, m)
+	y := New(n, m)
+	for i := range x.Data {
+		x.Data[i] = float64(i%7) + 0.5
+		y.Data[i] = float64(i%5) + 0.25
+	}
+	a := blas.NewDense(m, m)
+	for i := range a.Data {
+		a.Data[i] = 0.01 * float64(i+1)
+	}
+	return x, y, a
+}
+
+// The block-CG small operations: their cost relative to GSPMV decides
+// how much of the kernel win survives (see EXPERIMENTS.md).
+func BenchmarkGram(b *testing.B) {
+	for _, m := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			x, y, _ := benchOperands(6000, m)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Gram(x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkAddMul(b *testing.B) {
+	for _, m := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			x, y, a := benchOperands(6000, m)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				y.AddMul(x, a)
+			}
+		})
+	}
+}
+
+func BenchmarkSetMulAdd(b *testing.B) {
+	for _, m := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			x, y, a := benchOperands(6000, m)
+			v := New(6000, m)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v.SetMulAdd(x, y, a)
+			}
+		})
+	}
+}

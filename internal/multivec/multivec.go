@@ -1,0 +1,246 @@
+// Package multivec implements the dense "block of vectors" operand of
+// the generalized sparse matrix-vector product (GSPMV).
+//
+// Following Section IV-A1 of the paper, the m vectors are stored
+// row-major: all m values for row i are contiguous. This is the layout
+// the GSPMV basic kernel depends on — when a matrix entry R(i,j) is
+// loaded once, the kernel streams the m consecutive values X(j, 0..m)
+// and accumulates into the m consecutive values Y(i, 0..m), which is
+// what amortizes the matrix memory traffic over the vector count.
+//
+// The package also supplies the block-vector operations needed by the
+// block conjugate-gradient method: Gram products X^T Y (small m-by-m
+// results) and right-multiplication by small m-by-m matrices.
+package multivec
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/blas"
+)
+
+// MultiVec is an n-by-m block of column vectors stored row-major:
+// element (i, j) — component i of vector j — lives at Data[i*M+j].
+type MultiVec struct {
+	N, M int
+	Data []float64
+}
+
+// New allocates a zeroed n-by-m multivector.
+func New(n, m int) *MultiVec {
+	if n < 0 || m <= 0 {
+		panic("multivec: invalid dimensions")
+	}
+	return &MultiVec{N: n, M: m, Data: make([]float64, n*m)}
+}
+
+// FromVector wraps a single vector x as an n-by-1 multivector that
+// aliases x.
+func FromVector(x []float64) *MultiVec {
+	return &MultiVec{N: len(x), M: 1, Data: x}
+}
+
+// FromColumns packs the given equal-length column vectors into a new
+// row-major multivector.
+func FromColumns(cols ...[]float64) *MultiVec {
+	if len(cols) == 0 {
+		panic("multivec: FromColumns requires at least one column")
+	}
+	n := len(cols[0])
+	v := New(n, len(cols))
+	for j, c := range cols {
+		if len(c) != n {
+			panic("multivec: FromColumns length mismatch")
+		}
+		v.SetCol(j, c)
+	}
+	return v
+}
+
+// At returns element (i, j).
+func (v *MultiVec) At(i, j int) float64 {
+	v.check(i, j)
+	return v.Data[i*v.M+j]
+}
+
+// Set assigns element (i, j).
+func (v *MultiVec) Set(i, j int, x float64) {
+	v.check(i, j)
+	v.Data[i*v.M+j] = x
+}
+
+func (v *MultiVec) check(i, j int) {
+	if i < 0 || i >= v.N || j < 0 || j >= v.M {
+		panic(fmt.Sprintf("multivec: index (%d,%d) out of range %dx%d", i, j, v.N, v.M))
+	}
+}
+
+// Row returns a slice aliasing the m values of row i.
+func (v *MultiVec) Row(i int) []float64 {
+	return v.Data[i*v.M : (i+1)*v.M]
+}
+
+// Col copies column j into dst, which must have length N.
+func (v *MultiVec) Col(j int, dst []float64) {
+	if len(dst) != v.N {
+		panic("multivec: Col length mismatch")
+	}
+	if j < 0 || j >= v.M {
+		panic("multivec: column out of range")
+	}
+	for i := 0; i < v.N; i++ {
+		dst[i] = v.Data[i*v.M+j]
+	}
+}
+
+// ColVector returns a fresh copy of column j.
+func (v *MultiVec) ColVector(j int) []float64 {
+	dst := make([]float64, v.N)
+	v.Col(j, dst)
+	return dst
+}
+
+// SetCol copies src (length N) into column j.
+func (v *MultiVec) SetCol(j int, src []float64) {
+	if len(src) != v.N {
+		panic("multivec: SetCol length mismatch")
+	}
+	if j < 0 || j >= v.M {
+		panic("multivec: column out of range")
+	}
+	for i := 0; i < v.N; i++ {
+		v.Data[i*v.M+j] = src[i]
+	}
+}
+
+// Clone returns a deep copy.
+func (v *MultiVec) Clone() *MultiVec {
+	c := New(v.N, v.M)
+	copy(c.Data, v.Data)
+	return c
+}
+
+// CopyFrom copies the contents of src, which must have identical
+// dimensions.
+func (v *MultiVec) CopyFrom(src *MultiVec) {
+	if v.N != src.N || v.M != src.M {
+		panic("multivec: CopyFrom dimension mismatch")
+	}
+	copy(v.Data, src.Data)
+}
+
+// Zero clears all entries.
+func (v *MultiVec) Zero() {
+	for i := range v.Data {
+		v.Data[i] = 0
+	}
+}
+
+// Scale multiplies every entry by s.
+func (v *MultiVec) Scale(s float64) {
+	blas.Scal(s, v.Data)
+}
+
+// Sub computes v = a - b elementwise. All three must have identical
+// dimensions; v may alias a or b.
+func (v *MultiVec) Sub(a, b *MultiVec) {
+	if v.N != a.N || v.M != a.M || a.N != b.N || a.M != b.M {
+		panic("multivec: Sub dimension mismatch")
+	}
+	blas.Sub(v.Data, a.Data, b.Data)
+}
+
+// Add computes v = a + b elementwise, with the same aliasing rules as
+// Sub.
+func (v *MultiVec) Add(a, b *MultiVec) {
+	if v.N != a.N || v.M != a.M || a.N != b.N || a.M != b.M {
+		panic("multivec: Add dimension mismatch")
+	}
+	blas.Add(v.Data, a.Data, b.Data)
+}
+
+// AddMul computes v += x * a, where a is a small x.M-by-v.M dense
+// matrix. This is the block-CG update X += P*alpha. x must not alias
+// v.
+func (v *MultiVec) AddMul(x *MultiVec, a *blas.Dense) {
+	if x.N != v.N || a.Rows != x.M || a.Cols != v.M {
+		panic("multivec: AddMul dimension mismatch")
+	}
+	mx, mv := x.M, v.M
+	if mx == mv && addMulFixed(v.Data, x.Data, a.Data, v.N, mv) {
+		return
+	}
+	for i := 0; i < v.N; i++ {
+		xr := x.Data[i*mx : i*mx+mx : i*mx+mx]
+		vr := v.Data[i*mv : i*mv+mv : i*mv+mv]
+		for k, xv := range xr {
+			ar := a.Data[k*mv : k*mv+mv : k*mv+mv]
+			for j, av := range ar {
+				vr[j] += xv * av
+			}
+		}
+	}
+}
+
+// SetMulAdd computes v = r + p * b (the block-CG direction update
+// P = R + P*beta evaluated out of place). r and p must not alias v.
+func (v *MultiVec) SetMulAdd(r, p *MultiVec, b *blas.Dense) {
+	if r.N != v.N || r.M != v.M || p.N != v.N || b.Rows != p.M || b.Cols != v.M {
+		panic("multivec: SetMulAdd dimension mismatch")
+	}
+	mp, mv := p.M, v.M
+	if mp == mv && setMulAddFixed(v.Data, r.Data, p.Data, b.Data, v.N, mv) {
+		return
+	}
+	for i := 0; i < v.N; i++ {
+		vr := v.Data[i*mv : i*mv+mv : i*mv+mv]
+		copy(vr, r.Data[i*mv:i*mv+mv])
+		pr := p.Data[i*mp : i*mp+mp : i*mp+mp]
+		for k, pv := range pr {
+			br := b.Data[k*mv : k*mv+mv : k*mv+mv]
+			for j, bv := range br {
+				vr[j] += pv * bv
+			}
+		}
+	}
+}
+
+// Gram returns the small x.M-by-y.M matrix X^T * Y. The inputs must
+// have the same row count.
+func Gram(x, y *MultiVec) *blas.Dense {
+	if x.N != y.N {
+		panic("multivec: Gram dimension mismatch")
+	}
+	g := blas.NewDense(x.M, y.M)
+	mx, my := x.M, y.M
+	if mx == my && gramFixed(g.Data, x.Data, y.Data, x.N, my) {
+		return g
+	}
+	for i := 0; i < x.N; i++ {
+		xr := x.Data[i*mx : i*mx+mx : i*mx+mx]
+		yr := y.Data[i*my : i*my+my : i*my+my]
+		for a, xv := range xr {
+			gr := g.Data[a*my : a*my+my : a*my+my]
+			for b, yv := range yr {
+				gr[b] += xv * yv
+			}
+		}
+	}
+	return g
+}
+
+// ColNorms returns the Euclidean norm of each column.
+func (v *MultiVec) ColNorms() []float64 {
+	sums := make([]float64, v.M)
+	for i := 0; i < v.N; i++ {
+		r := v.Row(i)
+		for j, x := range r {
+			sums[j] += x * x
+		}
+	}
+	for j := range sums {
+		sums[j] = math.Sqrt(sums[j])
+	}
+	return sums
+}

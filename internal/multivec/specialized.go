@@ -1,0 +1,130 @@
+package multivec
+
+// Specialized fixed-m inner loops for the block-vector operations
+// that dominate block-CG overhead. Like the GSPMV kernels in
+// internal/bcrs, these mirror the output of the paper's code
+// generator: the constant trip count lets the compiler unroll the
+// inner loop and drop bounds checks. The generic paths remain the
+// fallback for other m.
+
+func addMulFixed(vdata, xdata, a []float64, rows, m int) bool {
+	switch m {
+	case 8:
+		addMul8(vdata, xdata, a, rows)
+	case 16:
+		addMul16(vdata, xdata, a, rows)
+	default:
+		return false
+	}
+	return true
+}
+
+func addMul8(vdata, xdata, a []float64, rows int) {
+	const m = 8
+	for i := 0; i < rows; i++ {
+		vr := vdata[i*m : i*m+m : i*m+m]
+		xr := xdata[i*m : i*m+m : i*m+m]
+		for k, xv := range xr {
+			ar := a[k*m : k*m+m : k*m+m]
+			for j := 0; j < m; j++ {
+				vr[j] += xv * ar[j]
+			}
+		}
+	}
+}
+
+func addMul16(vdata, xdata, a []float64, rows int) {
+	const m = 16
+	for i := 0; i < rows; i++ {
+		vr := vdata[i*m : i*m+m : i*m+m]
+		xr := xdata[i*m : i*m+m : i*m+m]
+		for k, xv := range xr {
+			ar := a[k*m : k*m+m : k*m+m]
+			for j := 0; j < m; j++ {
+				vr[j] += xv * ar[j]
+			}
+		}
+	}
+}
+
+func gramFixed(g, xdata, ydata []float64, rows, m int) bool {
+	switch m {
+	case 8:
+		gram8(g, xdata, ydata, rows)
+	case 16:
+		gram16(g, xdata, ydata, rows)
+	default:
+		return false
+	}
+	return true
+}
+
+func gram8(g, xdata, ydata []float64, rows int) {
+	const m = 8
+	for i := 0; i < rows; i++ {
+		xr := xdata[i*m : i*m+m : i*m+m]
+		yr := ydata[i*m : i*m+m : i*m+m]
+		for a, xv := range xr {
+			gr := g[a*m : a*m+m : a*m+m]
+			for b := 0; b < m; b++ {
+				gr[b] += xv * yr[b]
+			}
+		}
+	}
+}
+
+func gram16(g, xdata, ydata []float64, rows int) {
+	const m = 16
+	for i := 0; i < rows; i++ {
+		xr := xdata[i*m : i*m+m : i*m+m]
+		yr := ydata[i*m : i*m+m : i*m+m]
+		for a, xv := range xr {
+			gr := g[a*m : a*m+m : a*m+m]
+			for b := 0; b < m; b++ {
+				gr[b] += xv * yr[b]
+			}
+		}
+	}
+}
+
+func setMulAddFixed(vdata, rdata, pdata, b []float64, rows, m int) bool {
+	switch m {
+	case 8:
+		setMulAdd8(vdata, rdata, pdata, b, rows)
+	case 16:
+		setMulAdd16(vdata, rdata, pdata, b, rows)
+	default:
+		return false
+	}
+	return true
+}
+
+func setMulAdd8(vdata, rdata, pdata, b []float64, rows int) {
+	const m = 8
+	for i := 0; i < rows; i++ {
+		vr := vdata[i*m : i*m+m : i*m+m]
+		copy(vr, rdata[i*m:i*m+m])
+		pr := pdata[i*m : i*m+m : i*m+m]
+		for k, pv := range pr {
+			br := b[k*m : k*m+m : k*m+m]
+			for j := 0; j < m; j++ {
+				vr[j] += pv * br[j]
+			}
+		}
+	}
+}
+
+func setMulAdd16(vdata, rdata, pdata, b []float64, rows int) {
+	const m = 16
+	for i := 0; i < rows; i++ {
+		vr := vdata[i*m : i*m+m : i*m+m]
+		copy(vr, rdata[i*m:i*m+m])
+		pr := pdata[i*m : i*m+m : i*m+m]
+		for k, pv := range pr {
+			br := b[k*m : k*m+m : k*m+m]
+			for j := 0; j < m; j++ {
+				vr[j] += pv * br[j]
+			}
+		}
+	}
+}

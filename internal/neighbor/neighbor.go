@@ -1,0 +1,198 @@
+// Package neighbor finds interacting particle pairs in a periodic box
+// using cell lists.
+//
+// The resistance matrix of Stokesian dynamics couples only particle
+// pairs closer than a cutoff (lubrication forces are short-range), so
+// each time step needs the set of pairs with minimum-image separation
+// below the cutoff. Cell lists give this in O(n) time: the box is
+// divided into a grid of cells at least one cutoff wide, and only the
+// 13 half-neighbors of each cell (plus the cell itself) are searched.
+// When the box is too small for a 3x3x3 grid of cutoff-sized cells,
+// the implementation falls back to the O(n^2) brute-force scan, which
+// is also exported as the test oracle.
+package neighbor
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/blas"
+)
+
+// Pair is an interacting particle pair with i < j, the minimum-image
+// displacement D = pos[j] - pos[i], and its length R.
+type Pair struct {
+	I, J int
+	D    blas.Vec3
+	R    float64
+}
+
+// MinImage returns the minimum-image displacement of d in a cubic
+// periodic box of edge length box.
+func MinImage(d blas.Vec3, box float64) blas.Vec3 {
+	for c := 0; c < 3; c++ {
+		for d[c] > box/2 {
+			d[c] -= box
+		}
+		for d[c] < -box/2 {
+			d[c] += box
+		}
+	}
+	return d
+}
+
+// Wrap maps p into [0, box)^3.
+func Wrap(p blas.Vec3, box float64) blas.Vec3 {
+	for c := 0; c < 3; c++ {
+		for p[c] < 0 {
+			p[c] += box
+		}
+		for p[c] >= box {
+			p[c] -= box
+		}
+	}
+	return p
+}
+
+// Pairs returns all pairs with minimum-image distance strictly less
+// than cutoff, in a deterministic order. Positions may lie outside
+// the primary box; they are wrapped internally.
+func Pairs(pos []blas.Vec3, box, cutoff float64) []Pair {
+	var out []Pair
+	ForEachPair(pos, box, cutoff, func(p Pair) { out = append(out, p) })
+	return out
+}
+
+// ForEachPair calls fn for every pair with minimum-image distance
+// strictly less than cutoff, without materializing the pair list —
+// the allocation-free path used by matrix assembly and packing
+// relaxation. Each qualifying pair is visited exactly once, with
+// I < J. The visit order is deterministic.
+func ForEachPair(pos []blas.Vec3, box, cutoff float64, fn func(Pair)) {
+	if box <= 0 || cutoff <= 0 {
+		panic("neighbor: box and cutoff must be positive")
+	}
+	g := int(box / cutoff)
+	if g < 3 {
+		// Cells would alias through the periodic wrap; fall back to
+		// the quadratic scan.
+		for _, p := range PairsBrute(pos, box, cutoff) {
+			fn(p)
+		}
+		return
+	}
+	if g > 1024 {
+		g = 1024
+	}
+	cell := box / float64(g)
+
+	n := len(pos)
+	wrapped := make([]blas.Vec3, n)
+	cellOf := make([]int, n)
+	counts := make([]int, g*g*g+1)
+	idx := func(ix, iy, iz int) int { return (ix*g+iy)*g + iz }
+	for i, p := range pos {
+		w := Wrap(p, box)
+		wrapped[i] = w
+		ix := clamp(int(w[0]/cell), g)
+		iy := clamp(int(w[1]/cell), g)
+		iz := clamp(int(w[2]/cell), g)
+		c := idx(ix, iy, iz)
+		cellOf[i] = c
+		counts[c+1]++
+	}
+	for c := 0; c < g*g*g; c++ {
+		counts[c+1] += counts[c]
+	}
+	members := make([]int32, n)
+	fill := append([]int(nil), counts[:g*g*g]...)
+	for i := 0; i < n; i++ {
+		members[fill[cellOf[i]]] = int32(i)
+		fill[cellOf[i]]++
+	}
+
+	// Half-space neighbor offsets: the 13 cells that, together with
+	// the home cell, cover each pair exactly once. With g >= 3,
+	// distinct offsets always reach distinct cells mod g, so no pair
+	// can be visited twice.
+	offsets := [][3]int{
+		{1, 0, 0}, {0, 1, 0}, {0, 0, 1},
+		{1, 1, 0}, {1, -1, 0}, {1, 0, 1}, {1, 0, -1},
+		{0, 1, 1}, {0, 1, -1},
+		{1, 1, 1}, {1, 1, -1}, {1, -1, 1}, {1, -1, -1},
+	}
+
+	emit := func(i, j int) {
+		d := MinImage(wrapped[j].Sub(wrapped[i]), box)
+		r2 := d.Dot(d)
+		if r2 < cutoff*cutoff {
+			if i > j {
+				i, j = j, i
+				d = d.Scale(-1)
+			}
+			fn(Pair{I: i, J: j, D: d, R: math.Sqrt(r2)})
+		}
+	}
+	for ix := 0; ix < g; ix++ {
+		for iy := 0; iy < g; iy++ {
+			for iz := 0; iz < g; iz++ {
+				c := idx(ix, iy, iz)
+				home := members[counts[c]:counts[c+1]]
+				// Within the home cell.
+				for a := 0; a < len(home); a++ {
+					for b := a + 1; b < len(home); b++ {
+						emit(int(home[a]), int(home[b]))
+					}
+				}
+				// Against each half-space neighbor.
+				for _, off := range offsets {
+					jx := (ix + off[0] + g) % g
+					jy := (iy + off[1] + g) % g
+					jz := (iz + off[2] + g) % g
+					other := members[counts[idx(jx, jy, jz)]:counts[idx(jx, jy, jz)+1]]
+					for _, a := range home {
+						for _, b := range other {
+							emit(int(a), int(b))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func clamp(c, g int) int {
+	if c < 0 {
+		return 0
+	}
+	if c >= g {
+		return g - 1
+	}
+	return c
+}
+
+// PairsBrute is the O(n^2) reference implementation.
+func PairsBrute(pos []blas.Vec3, box, cutoff float64) []Pair {
+	var pairs []Pair
+	for i := 0; i < len(pos); i++ {
+		for j := i + 1; j < len(pos); j++ {
+			// Wrap the endpoints first for exact agreement with the
+			// cell-list path.
+			d := MinImage(Wrap(pos[j], box).Sub(Wrap(pos[i], box)), box)
+			if r := d.Norm(); r < cutoff {
+				pairs = append(pairs, Pair{I: i, J: j, D: d, R: r})
+			}
+		}
+	}
+	sortPairs(pairs)
+	return pairs
+}
+
+func sortPairs(pairs []Pair) {
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].I != pairs[b].I {
+			return pairs[a].I < pairs[b].I
+		}
+		return pairs[a].J < pairs[b].J
+	})
+}

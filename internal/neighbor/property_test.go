@@ -1,0 +1,69 @@
+package neighbor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/blas"
+)
+
+// TestForEachPairMatchesBruteProperty: the cell-list pair set equals
+// the brute-force set for arbitrary configurations, box sizes, and
+// cutoffs.
+func TestForEachPairMatchesBruteProperty(t *testing.T) {
+	f := func(seed int64, boxRaw, cutRaw float64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		box := 4 + math.Mod(math.Abs(boxRaw), 20)
+		cutoff := 0.3 + math.Mod(math.Abs(cutRaw), box/2)
+		n := 2 + int(nRaw)%120
+		pos := make([]blas.Vec3, n)
+		for i := range pos {
+			pos[i] = blas.Vec3{rng.Float64() * box, rng.Float64() * box, rng.Float64() * box}
+		}
+		var got []Pair
+		ForEachPair(pos, box, cutoff, func(p Pair) { got = append(got, p) })
+		want := PairsBrute(pos, box, cutoff)
+		if len(got) != len(want) {
+			return false
+		}
+		sortPairs(got)
+		for i := range got {
+			if got[i].I != want[i].I || got[i].J != want[i].J {
+				return false
+			}
+			if math.Abs(got[i].R-want[i].R) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMinImageBoundsProperty: minimum-image displacements never
+// exceed half the box per axis.
+func TestMinImageBoundsProperty(t *testing.T) {
+	f := func(x, y, z, boxRaw float64) bool {
+		if math.IsNaN(x+y+z) || math.IsInf(x+y+z, 0) {
+			return true
+		}
+		box := 1 + math.Mod(math.Abs(boxRaw), 100)
+		// Huge inputs take many wrap iterations; clamp to a sane
+		// multiple of the box.
+		clamp := func(v float64) float64 { return math.Mod(v, 50*box) }
+		d := MinImage(blas.Vec3{clamp(x), clamp(y), clamp(z)}, box)
+		for c := 0; c < 3; c++ {
+			if d[c] < -box/2-1e-9 || d[c] > box/2+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

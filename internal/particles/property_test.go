@@ -1,0 +1,56 @@
+package particles
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// TestPackingOverlapFreeProperty: any reachable (N, phi, seed)
+// combination yields an overlap-free packing whose box realizes the
+// requested occupancy.
+func TestPackingOverlapFreeProperty(t *testing.T) {
+	prop := func(seed uint64, nRaw uint8, phiRaw float64) bool {
+		n := 10 + int(nRaw)%150
+		phi := 0.05 + math.Mod(math.Abs(phiRaw), 0.45)
+		sys, err := New(Options{N: n, Phi: phi, Seed: seed})
+		if err != nil {
+			return false
+		}
+		if sys.MaxOverlap() > 0 {
+			return false
+		}
+		return math.Abs(sys.VolumeFraction()-phi) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSampleRadiiFractionsProperty: for any seed and moderate n, the
+// realized histogram stays within a tolerance band of Table IV (the
+// allocator places floor(n*f) of each species deterministically).
+func TestSampleRadiiFractionsProperty(t *testing.T) {
+	prop := func(seed uint64, nRaw uint16) bool {
+		n := 500 + int(nRaw)%4000
+		counts := map[float64]int{}
+		for _, r := range SampleRadii(newStream(seed), n) {
+			counts[r]++
+		}
+		for _, rf := range EColiRadii {
+			got := float64(counts[rf.Radius]) / float64(n)
+			if math.Abs(got-rf.Fraction) > 0.03 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newStream adapts the rng package for the property tests.
+func newStream(seed uint64) *rng.Stream { return rng.New(seed) }

@@ -1,0 +1,151 @@
+package reorder
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bcrs"
+	"repro/internal/blas"
+)
+
+// pathMatrix builds a block tridiagonal (path graph) matrix, then
+// shuffles its labels.
+func pathMatrix(nb int, seed int64) (*bcrs.Matrix, []int) {
+	rnd := rand.New(rand.NewSource(seed))
+	shuffle := rnd.Perm(nb)
+	b := bcrs.NewBuilder(nb)
+	for i := 0; i < nb; i++ {
+		b.AddBlock(shuffle[i], shuffle[i], blas.Ident3().ScaleM(4))
+		if i+1 < nb {
+			b.AddBlock(shuffle[i], shuffle[i+1], blas.Ident3().ScaleM(-1))
+			b.AddBlock(shuffle[i+1], shuffle[i], blas.Ident3().ScaleM(-1))
+		}
+	}
+	return b.Build(), shuffle
+}
+
+func TestRCMIsPermutation(t *testing.T) {
+	a, _ := pathMatrix(50, 1)
+	perm := RCM(a)
+	seen := make([]bool, len(perm))
+	for _, p := range perm {
+		if p < 0 || p >= len(perm) || seen[p] {
+			t.Fatalf("not a permutation: %v", perm)
+		}
+		seen[p] = true
+	}
+}
+
+func TestRCMRecoversPathBandwidth(t *testing.T) {
+	// A shuffled path graph has bandwidth O(nb); RCM must bring it
+	// back to exactly 1.
+	a, _ := pathMatrix(80, 2)
+	if Bandwidth(a) < 10 {
+		t.Fatalf("shuffle failed to destroy bandwidth: %d", Bandwidth(a))
+	}
+	b := Apply(a, RCM(a))
+	if bw := Bandwidth(b); bw != 1 {
+		t.Fatalf("RCM bandwidth on a path = %d, want 1", bw)
+	}
+}
+
+func TestApplyPreservesSpectproduct(t *testing.T) {
+	// Permutation similarity: A x = y implies B (Px) = (Py).
+	a, _ := pathMatrix(30, 3)
+	perm := RCM(a)
+	b := Apply(a, perm)
+	rnd := rand.New(rand.NewSource(4))
+	x := make([]float64, a.N())
+	for i := range x {
+		x[i] = rnd.NormFloat64()
+	}
+	y := make([]float64, a.N())
+	a.MulVec(y, x)
+	px := PermuteVector(perm, x)
+	py := make([]float64, a.N())
+	b.MulVec(py, px)
+	want := PermuteVector(perm, y)
+	for i := range py {
+		if math.Abs(py[i]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+			t.Fatal("permuted product disagrees")
+		}
+	}
+}
+
+func TestRCMReducesProfileOnRandomLocalMatrix(t *testing.T) {
+	// A geometrically local matrix with shuffled labels: RCM must
+	// shrink the envelope substantially.
+	rnd := rand.New(rand.NewSource(5))
+	nb := 300
+	shuffle := rnd.Perm(nb)
+	b := bcrs.NewBuilder(nb)
+	for i := 0; i < nb; i++ {
+		b.AddBlock(shuffle[i], shuffle[i], blas.Ident3())
+		for d := 1; d <= 3; d++ {
+			j := i + d
+			if j < nb && rnd.Float64() < 0.7 {
+				b.AddBlock(shuffle[i], shuffle[j], blas.Ident3().ScaleM(0.1))
+				b.AddBlock(shuffle[j], shuffle[i], blas.Ident3().ScaleM(0.1))
+			}
+		}
+	}
+	a := b.Build()
+	before := Profile(a)
+	after := Profile(Apply(a, RCM(a)))
+	if after >= before/2 {
+		t.Fatalf("RCM did not halve the profile: %d -> %d", before, after)
+	}
+}
+
+func TestRCMHandlesDisconnectedGraph(t *testing.T) {
+	b := bcrs.NewBuilder(6)
+	// Two components: {0,1,2} path and {3,4,5} path.
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {3, 4}, {4, 5}} {
+		b.AddBlock(e[0], e[1], blas.Ident3())
+		b.AddBlock(e[1], e[0], blas.Ident3())
+	}
+	for i := 0; i < 6; i++ {
+		b.AddBlock(i, i, blas.Ident3().ScaleM(3))
+	}
+	a := b.Build()
+	perm := RCM(a)
+	pa := Apply(a, perm)
+	if bw := Bandwidth(pa); bw > 1 {
+		t.Fatalf("disconnected path bandwidth %d, want 1", bw)
+	}
+}
+
+func TestRCMIsolatedVertices(t *testing.T) {
+	b := bcrs.NewBuilder(4)
+	b.AddDiag(1)
+	a := b.Build()
+	perm := RCM(a)
+	if len(perm) != 4 {
+		t.Fatal("missing vertices")
+	}
+	if Bandwidth(Apply(a, perm)) != 0 {
+		t.Fatal("diagonal matrix must stay diagonal")
+	}
+}
+
+func TestPermuteVectorRoundTrip(t *testing.T) {
+	perm := []int{2, 0, 1}
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	px := PermuteVector(perm, x)
+	// Block 0 lands at block 2.
+	if px[6] != 1 || px[7] != 2 || px[8] != 3 {
+		t.Fatalf("PermuteVector wrong: %v", px)
+	}
+	// Inverse round trip.
+	inv := make([]int, 3)
+	for i, p := range perm {
+		inv[p] = i
+	}
+	back := PermuteVector(inv, px)
+	for i := range x {
+		if back[i] != x[i] {
+			t.Fatal("inverse permutation failed")
+		}
+	}
+}

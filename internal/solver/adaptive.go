@@ -1,0 +1,71 @@
+package solver
+
+import "repro/internal/bcrs"
+
+// AdaptivePrecond manages a reusable preconditioner over a sequence
+// of slowly-varying matrices, implementing the full policy of the
+// paper's first Section III technique: "invest in constructing a
+// preconditioner that can be reused for solving with many matrices.
+// As the matrices evolve, the preconditioner is recomputed when the
+// convergence rate has sufficiently degraded."
+//
+// The manager factors IC(0) from the first matrix it sees, records
+// the iteration count of the first preconditioned solve as the
+// baseline, and refactors from the current matrix whenever a solve
+// exceeds the baseline by the configured ratio.
+type AdaptivePrecond struct {
+	// DegradeRatio triggers a refactor when iterations exceed
+	// baseline*DegradeRatio (default 1.5).
+	DegradeRatio float64
+
+	ic       *IC0
+	baseline int
+	// Refactors counts preconditioner constructions, for tests and
+	// reporting.
+	Refactors int
+}
+
+// Solve runs preconditioned CG on a with the managed preconditioner,
+// constructing or refreshing it per the degradation policy.
+func (ap *AdaptivePrecond) Solve(a *bcrs.Matrix, x, b []float64, opt Options) Stats {
+	ratio := ap.DegradeRatio
+	if ratio <= 1 {
+		ratio = 1.5
+	}
+	if ap.ic == nil {
+		ap.refactor(a)
+	}
+	if ap.ic != nil {
+		opt.Precond = ap.ic
+	}
+	st := CG(a, x, b, opt)
+	if ap.ic == nil {
+		return st
+	}
+	if ap.baseline == 0 {
+		ap.baseline = st.Iterations
+		if ap.baseline == 0 {
+			ap.baseline = 1
+		}
+		return st
+	}
+	if float64(st.Iterations) > float64(ap.baseline)*ratio {
+		// Convergence degraded: rebuild from the current matrix and
+		// reset the baseline to the next solve's count.
+		ap.refactor(a)
+		ap.baseline = 0
+	}
+	return st
+}
+
+// refactor builds IC(0) from a; on breakdown the manager degrades to
+// unpreconditioned CG until the next attempt.
+func (ap *AdaptivePrecond) refactor(a *bcrs.Matrix) {
+	ic, err := NewIC0(a)
+	if err != nil {
+		ap.ic = nil
+		return
+	}
+	ap.ic = ic
+	ap.Refactors++
+}

@@ -1,0 +1,87 @@
+package solver
+
+import (
+	"testing"
+
+	"repro/internal/bcrs"
+)
+
+// driftSequence yields matrices drifting away from the first: each
+// step scales the off-diagonal structure a bit more.
+func driftSequence(seed uint64, steps int) []*bcrs.Matrix {
+	base := bcrs.Random(bcrs.RandomOptions{NB: 60, BlocksPerRow: 8, Seed: seed})
+	d := base.Dense()
+	out := make([]*bcrs.Matrix, steps)
+	out[0] = base
+	for s := 1; s < steps; s++ {
+		// Progressive diagonal re-weighting: condition drifts, SPD
+		// preserved.
+		dd := d.Clone()
+		for i := 0; i < dd.Rows; i++ {
+			dd.Set(i, i, dd.At(i, i)*(1+0.4*float64(s)))
+		}
+		out[s] = bcrs.FromDense(dd)
+	}
+	return out
+}
+
+func TestAdaptivePrecondSolvesSequence(t *testing.T) {
+	seq := driftSequence(1, 6)
+	ap := &AdaptivePrecond{}
+	for step, a := range seq {
+		b := randVec(int64(step+10), a.N())
+		x := make([]float64, a.N())
+		st := ap.Solve(a, x, b, Options{Tol: 1e-9})
+		if !st.Converged {
+			t.Fatalf("step %d: adaptive solve stalled", step)
+		}
+		if res := residual(a, x, b); res > 1e-8 {
+			t.Fatalf("step %d: residual %v", step, res)
+		}
+	}
+	if ap.Refactors < 1 {
+		t.Fatal("never factored")
+	}
+}
+
+func TestAdaptivePrecondRefactorsOnDegradation(t *testing.T) {
+	// Strong drift must eventually trigger a refactor; a frozen
+	// matrix must not.
+	drifting := driftSequence(2, 8)
+	ap := &AdaptivePrecond{DegradeRatio: 1.3}
+	for step, a := range drifting {
+		b := randVec(int64(step+20), a.N())
+		x := make([]float64, a.N())
+		ap.Solve(a, x, b, Options{Tol: 1e-9})
+	}
+	if ap.Refactors < 2 {
+		t.Fatalf("drifting sequence triggered %d refactors, want >= 2", ap.Refactors)
+	}
+
+	frozen := drifting[0]
+	ap2 := &AdaptivePrecond{DegradeRatio: 1.3}
+	for step := 0; step < 8; step++ {
+		b := randVec(int64(step+40), frozen.N())
+		x := make([]float64, frozen.N())
+		ap2.Solve(frozen, x, b, Options{Tol: 1e-9})
+	}
+	if ap2.Refactors != 1 {
+		t.Fatalf("frozen matrix caused %d refactors, want exactly 1", ap2.Refactors)
+	}
+}
+
+func TestAdaptivePrecondBeatsCold(t *testing.T) {
+	seq := driftSequence(3, 5)
+	ap := &AdaptivePrecond{}
+	var withPre, cold int
+	for step, a := range seq {
+		b := randVec(int64(step+60), a.N())
+		x := make([]float64, a.N())
+		withPre += ap.Solve(a, x, b, Options{Tol: 1e-8}).Iterations
+		y := make([]float64, a.N())
+		cold += CG(a, y, b, Options{Tol: 1e-8}).Iterations
+	}
+	if withPre >= cold {
+		t.Fatalf("adaptive preconditioning did not pay: %d vs %d iterations", withPre, cold)
+	}
+}

@@ -1,0 +1,265 @@
+package solver
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/bcrs"
+	"repro/internal/blas"
+)
+
+// IC0 is a block incomplete Cholesky factorization with zero fill-in:
+// a block lower-triangular L with exactly the lower-triangular
+// sparsity of A such that L*L^T ~ A. Applying it costs one block
+// forward and one block backward substitution.
+//
+// This is the first of the three techniques the paper lists for
+// sequences of slowly-varying systems (Section III): "invest in
+// constructing a preconditioner that can be reused for solving with
+// many matrices ... recomputed when the convergence rate has
+// sufficiently degraded". The experiments compare it, Krylov
+// recycling, and the MRHS initial guesses.
+type IC0 struct {
+	nb     int
+	rowPtr []int32
+	colIdx []int32
+	blocks []blas.Mat3 // stored lower-triangular blocks, row-wise
+	diag   []int       // index into blocks of each row's diagonal block
+	// invDiag caches the inverses of the diagonal blocks' Cholesky
+	// factors for the substitution sweeps.
+	diagChol []blas.Mat3 // lower Cholesky factor of each diagonal block
+}
+
+// ErrICBreakdown is returned when a pivot block loses positive
+// definiteness during the incomplete factorization.
+var ErrICBreakdown = errors.New("solver: incomplete Cholesky breakdown")
+
+// NewIC0 factors the SPD block matrix a. Only the lower triangle of
+// a's sparsity is used. A diagonal shift is applied on breakdown:
+// the factorization retries with A + shift*diag(A) doubling the shift
+// until it succeeds (standard Manteuffel-style remedy), up to a
+// failure bound.
+func NewIC0(a *bcrs.Matrix) (*IC0, error) {
+	if a.NB() != a.NCB() {
+		return nil, errors.New("solver: IC0 requires a square matrix")
+	}
+	shift := 0.0
+	for try := 0; try < 8; try++ {
+		ic, err := factorIC0(a, shift)
+		if err == nil {
+			return ic, nil
+		}
+		if shift == 0 {
+			shift = 1e-3
+		} else {
+			shift *= 4
+		}
+	}
+	return nil, ErrICBreakdown
+}
+
+// factorIC0 attempts the factorization with a relative diagonal
+// shift.
+func factorIC0(a *bcrs.Matrix, shift float64) (*IC0, error) {
+	nb := a.NB()
+	ic := &IC0{nb: nb}
+
+	// Extract the lower-triangular pattern and values.
+	rowPtr := make([]int32, nb+1)
+	var colIdx []int32
+	var blocks []blas.Mat3
+	diag := make([]int, nb)
+	for i := 0; i < nb; i++ {
+		lo, hi := a.RowBlocks(i)
+		found := false
+		for k := lo; k < hi; k++ {
+			j := a.BlockCol(k)
+			if j > i {
+				break // columns sorted
+			}
+			blk := a.BlockAt(k)
+			if j == i {
+				found = true
+				diag[i] = len(blocks)
+				if shift > 0 {
+					for q := 0; q < 3; q++ {
+						blk[q*3+q] *= 1 + shift
+					}
+				}
+			}
+			colIdx = append(colIdx, int32(j))
+			blocks = append(blocks, blk)
+		}
+		if !found {
+			return nil, errors.New("solver: IC0 requires stored diagonal blocks")
+		}
+		rowPtr[i+1] = int32(len(colIdx))
+	}
+	ic.rowPtr = rowPtr
+	ic.colIdx = colIdx
+	ic.blocks = blocks
+	ic.diag = diag
+	ic.diagChol = make([]blas.Mat3, nb)
+
+	// colPos[j] maps block column j to its position in the current
+	// row during the update scan; -1 when absent.
+	colPos := make([]int, nb)
+	for i := range colPos {
+		colPos[i] = -1
+	}
+
+	for i := 0; i < nb; i++ {
+		lo, hi := int(rowPtr[i]), int(rowPtr[i+1])
+		for k := lo; k < hi; k++ {
+			colPos[colIdx[k]] = k
+		}
+		// For each stored block (i, j), j < i:
+		// L_ij = (A_ij - sum_{p<j, p in both rows} L_ip * L_jp^T) * L_jj^{-T}
+		for k := lo; k < hi-1; k++ {
+			j := int(colIdx[k])
+			acc := ic.blocks[k]
+			jlo, jhi := int(rowPtr[j]), int(rowPtr[j+1])
+			for q := jlo; q < jhi-1; q++ {
+				p := int(colIdx[q])
+				if kp := colPos[p]; kp >= 0 && kp < k {
+					acc = acc.SubM(mulABt(ic.blocks[kp], ic.blocks[q]))
+				}
+			}
+			// Solve L_ij * L_jj^T = acc for L_ij.
+			ic.blocks[k] = solveRightTranspose(acc, ic.diagChol[j])
+		}
+		// Diagonal: L_ii L_ii^T = A_ii - sum_p L_ip L_ip^T.
+		kd := diag[i]
+		acc := ic.blocks[kd]
+		for k := lo; k < hi-1; k++ {
+			acc = acc.SubM(mulABt(ic.blocks[k], ic.blocks[k]))
+		}
+		chol, ok := chol3(acc)
+		if !ok {
+			// Clear colPos before bailing.
+			for k := lo; k < hi; k++ {
+				colPos[colIdx[k]] = -1
+			}
+			return nil, ErrICBreakdown
+		}
+		ic.diagChol[i] = chol
+		ic.blocks[kd] = chol
+		for k := lo; k < hi; k++ {
+			colPos[colIdx[k]] = -1
+		}
+	}
+	return ic, nil
+}
+
+// mulABt returns A * B^T for 3x3 blocks.
+func mulABt(a, b blas.Mat3) blas.Mat3 {
+	var r blas.Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			var s float64
+			for k := 0; k < 3; k++ {
+				s += a[i*3+k] * b[j*3+k]
+			}
+			r[i*3+j] = s
+		}
+	}
+	return r
+}
+
+// chol3 returns the lower Cholesky factor of a 3x3 SPD block.
+func chol3(a blas.Mat3) (blas.Mat3, bool) {
+	var l blas.Mat3
+	for j := 0; j < 3; j++ {
+		d := a[j*3+j]
+		for k := 0; k < j; k++ {
+			d -= l[j*3+k] * l[j*3+k]
+		}
+		if d <= 0 {
+			return l, false
+		}
+		d = math.Sqrt(d)
+		l[j*3+j] = d
+		for i := j + 1; i < 3; i++ {
+			s := a[i*3+j]
+			for k := 0; k < j; k++ {
+				s -= l[i*3+k] * l[j*3+k]
+			}
+			l[i*3+j] = s / d
+		}
+	}
+	return l, true
+}
+
+// solveRightTranspose solves X * L^T = B for X given a 3x3 lower
+// Cholesky factor L (i.e. X = B * L^{-T}).
+func solveRightTranspose(b, l blas.Mat3) blas.Mat3 {
+	var x blas.Mat3
+	// Row r of X solves x_r * L^T = b_r, i.e. L * x_r^T = b_r^T:
+	// forward substitution with L.
+	for r := 0; r < 3; r++ {
+		for i := 0; i < 3; i++ {
+			s := b[r*3+i]
+			for k := 0; k < i; k++ {
+				s -= l[i*3+k] * x[r*3+k]
+			}
+			x[r*3+i] = s / l[i*3+i]
+		}
+	}
+	return x
+}
+
+// Apply computes z = (L L^T)^{-1} r: one forward and one backward
+// block substitution. It satisfies the Preconditioner interface.
+func (ic *IC0) Apply(z, r []float64) {
+	n := ic.nb * 3
+	if len(z) != n || len(r) != n {
+		panic("solver: IC0 dimension mismatch")
+	}
+	// Forward: L*y = r (y stored in z).
+	for i := 0; i < ic.nb; i++ {
+		var acc blas.Vec3
+		acc[0], acc[1], acc[2] = r[3*i], r[3*i+1], r[3*i+2]
+		lo, hi := int(ic.rowPtr[i]), int(ic.rowPtr[i+1])
+		for k := lo; k < hi-1; k++ {
+			j := int(ic.colIdx[k])
+			v := ic.blocks[k].MulV(blas.Vec3{z[3*j], z[3*j+1], z[3*j+2]})
+			acc = acc.Sub(v)
+		}
+		y := forward3(ic.diagChol[i], acc)
+		z[3*i], z[3*i+1], z[3*i+2] = y[0], y[1], y[2]
+	}
+	// Backward: L^T*z = y. Accumulate the transposed couplings by
+	// scattering from each row to its columns.
+	for i := ic.nb - 1; i >= 0; i-- {
+		v := blas.Vec3{z[3*i], z[3*i+1], z[3*i+2]}
+		x := backward3(ic.diagChol[i], v)
+		z[3*i], z[3*i+1], z[3*i+2] = x[0], x[1], x[2]
+		lo, hi := int(ic.rowPtr[i]), int(ic.rowPtr[i+1])
+		for k := lo; k < hi-1; k++ {
+			j := int(ic.colIdx[k])
+			// Subtract L_ij^T * x_i from the pending entry j < i.
+			w := ic.blocks[k].Transpose3().MulV(x)
+			z[3*j] -= w[0]
+			z[3*j+1] -= w[1]
+			z[3*j+2] -= w[2]
+		}
+	}
+}
+
+// forward3 solves L*y = b for a 3x3 lower factor.
+func forward3(l blas.Mat3, b blas.Vec3) blas.Vec3 {
+	var y blas.Vec3
+	y[0] = b[0] / l[0]
+	y[1] = (b[1] - l[3]*y[0]) / l[4]
+	y[2] = (b[2] - l[6]*y[0] - l[7]*y[1]) / l[8]
+	return y
+}
+
+// backward3 solves L^T*x = y for a 3x3 lower factor.
+func backward3(l blas.Mat3, y blas.Vec3) blas.Vec3 {
+	var x blas.Vec3
+	x[2] = y[2] / l[8]
+	x[1] = (y[1] - l[7]*x[2]) / l[4]
+	x[0] = (y[0] - l[3]*x[1] - l[6]*x[2]) / l[0]
+	return x
+}

@@ -1,0 +1,254 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bcrs"
+	"repro/internal/blas"
+	"repro/internal/multivec"
+)
+
+func TestIC0ExactOnBlockDiagonal(t *testing.T) {
+	// With a block-diagonal matrix, zero fill-in loses nothing: the
+	// preconditioner is exact and PCG converges immediately.
+	rnd := rand.New(rand.NewSource(1))
+	nb := 12
+	b := bcrs.NewBuilder(nb)
+	for i := 0; i < nb; i++ {
+		var blk blas.Mat3
+		for q := range blk {
+			blk[q] = rnd.NormFloat64() * 0.2
+		}
+		spd := blk.AddM(blk.Transpose3()).AddM(blas.Ident3().ScaleM(3))
+		b.AddBlock(i, i, spd)
+	}
+	a := b.Build()
+	ic, err := NewIC0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := randVec(2, a.N())
+	x := make([]float64, a.N())
+	st := CG(a, x, rhs, Options{Precond: ic})
+	if !st.Converged || st.Iterations > 2 {
+		t.Fatalf("exact IC0 should converge in ~1 iteration: %+v", st)
+	}
+}
+
+func TestIC0ApplyIsInverseOfLLt(t *testing.T) {
+	// Apply must invert exactly the operator L L^T the factorization
+	// produced (even though L L^T only approximates A).
+	a := spdMatrix(3, 30, 5)
+	ic, err := NewIC0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := a.N()
+	z := randVec(4, n)
+	y := make([]float64, n)
+	ic.Apply(y, z)
+	// Verify L L^T y == z by building L densely from the factor.
+	l := blas.NewDense(n, n)
+	for i := 0; i < ic.nb; i++ {
+		lo, hi := int(ic.rowPtr[i]), int(ic.rowPtr[i+1])
+		for k := lo; k < hi; k++ {
+			j := int(ic.colIdx[k])
+			blk := ic.blocks[k]
+			for r := 0; r < 3; r++ {
+				for c := 0; c < 3; c++ {
+					l.Set(3*i+r, 3*j+c, blk[3*r+c])
+				}
+			}
+		}
+	}
+	llt := l.Mul(l.Transpose())
+	back := make([]float64, n)
+	llt.MatVec(back, y)
+	for i := range back {
+		if math.Abs(back[i]-z[i]) > 1e-8*(1+math.Abs(z[i])) {
+			t.Fatalf("L L^T Apply(z) != z at %d: %v vs %v", i, back[i], z[i])
+		}
+	}
+}
+
+func TestIC0AcceleratesCG(t *testing.T) {
+	a := spdMatrix(6, 150, 8)
+	rhs := randVec(7, a.N())
+	plain := make([]float64, a.N())
+	stPlain := CG(a, plain, rhs, Options{})
+	ic, err := NewIC0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := make([]float64, a.N())
+	stPre := CG(a, pre, rhs, Options{Precond: ic})
+	if !stPre.Converged {
+		t.Fatal("IC0-PCG did not converge")
+	}
+	if stPre.Iterations >= stPlain.Iterations {
+		t.Fatalf("IC0 did not reduce iterations: %d vs %d", stPre.Iterations, stPlain.Iterations)
+	}
+	// Same solution.
+	for i := range plain {
+		if math.Abs(plain[i]-pre[i]) > 1e-4*(1+math.Abs(plain[i])) {
+			t.Fatal("IC0-PCG solution differs")
+		}
+	}
+}
+
+func TestIC0RejectsRectangular(t *testing.T) {
+	b := bcrs.NewBuilderRect(2, 3)
+	b.AddBlock(0, 0, blas.Ident3())
+	b.AddBlock(1, 1, blas.Ident3())
+	if _, err := NewIC0(b.Build()); err == nil {
+		t.Fatal("expected error for rectangular matrix")
+	}
+}
+
+func TestIC0RequiresDiagonal(t *testing.T) {
+	b := bcrs.NewBuilder(2)
+	b.AddBlock(0, 0, blas.Ident3())
+	b.AddBlock(1, 0, blas.Ident3().ScaleM(0.1)) // row 1 has no diagonal
+	if _, err := NewIC0(b.Build()); err == nil {
+		t.Fatal("expected error for missing diagonal block")
+	}
+}
+
+func TestIC0ReuseAcrossNearbyMatrices(t *testing.T) {
+	// The paper's technique: factor once, keep using it while the
+	// matrix drifts. A preconditioner built from A must still
+	// accelerate A' = A + small perturbation.
+	a := spdMatrix(8, 120, 8)
+	ic, err := NewIC0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := a.Dense()
+	for i := range d.Data {
+		d.Data[i] *= 1.02
+	}
+	aNew := bcrs.FromDense(d)
+	rhs := randVec(9, a.N())
+	plain := make([]float64, aNew.N())
+	stPlain := CG(aNew, plain, rhs, Options{})
+	pre := make([]float64, aNew.N())
+	stPre := CG(aNew, pre, rhs, Options{Precond: ic})
+	if !stPre.Converged {
+		t.Fatal("stale IC0 stalled")
+	}
+	if stPre.Iterations >= stPlain.Iterations {
+		t.Fatalf("stale IC0 did not help: %d vs %d", stPre.Iterations, stPlain.Iterations)
+	}
+}
+
+func TestDeflationOrthonormalizes(t *testing.T) {
+	a := spdMatrix(10, 40, 5)
+	v1 := randVec(11, a.N())
+	v2 := randVec(12, a.N())
+	dup := append([]float64(nil), v1...) // dependent copy
+	d, err := NewDeflation(a, [][]float64{v1, v2, dup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.K() != 2 {
+		t.Fatalf("K = %d, want 2 (duplicate dropped)", d.K())
+	}
+}
+
+func TestDeflationRejectsEmpty(t *testing.T) {
+	a := spdMatrix(13, 10, 3)
+	zero := make([]float64, a.N())
+	if _, err := NewDeflation(a, [][]float64{zero}); err == nil {
+		t.Fatal("expected error for zero basis")
+	}
+}
+
+func TestDeflationExactInSubspace(t *testing.T) {
+	// If b = A*w for a basis vector w, the correction alone solves
+	// the system: CG afterwards does zero iterations.
+	a := spdMatrix(14, 50, 6)
+	w := randVec(15, a.N())
+	d, err := NewDeflation(a, [][]float64{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, a.N())
+	a.MulVec(b, w)
+	x := make([]float64, a.N())
+	st := RecycledCG(a, x, b, d, Options{})
+	if !st.Converged {
+		t.Fatal("did not converge")
+	}
+	if st.Iterations > 0 {
+		t.Fatalf("in-subspace solve took %d CG iterations, want 0", st.Iterations)
+	}
+	for i := range x {
+		if math.Abs(x[i]-w[i]) > 1e-8*(1+math.Abs(w[i])) {
+			t.Fatal("deflated solution wrong")
+		}
+	}
+}
+
+func TestRecycledCGReducesIterations(t *testing.T) {
+	// Recycling the previous solution against a nearby matrix and a
+	// right-hand side correlated with it must beat cold CG.
+	a := spdMatrix(16, 100, 8)
+	// First solve.
+	b1 := randVec(17, a.N())
+	x1 := make([]float64, a.N())
+	CG(a, x1, b1, Options{})
+	// Second RHS: the old one plus a modest perturbation.
+	b2 := append([]float64(nil), b1...)
+	pert := randVec(18, a.N())
+	blas.Axpy(0.2, pert, b2)
+	d, err := NewDeflation(a, [][]float64{x1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := make([]float64, a.N())
+	stCold := CG(a, cold, b2, Options{})
+	rec := make([]float64, a.N())
+	stRec := RecycledCG(a, rec, b2, d, Options{})
+	if !stRec.Converged {
+		t.Fatal("recycled CG stalled")
+	}
+	if stRec.Iterations >= stCold.Iterations {
+		t.Fatalf("recycling did not help: %d vs %d", stRec.Iterations, stCold.Iterations)
+	}
+}
+
+func TestRecycledCGNilDeflation(t *testing.T) {
+	a := spdMatrix(19, 30, 4)
+	b := randVec(20, a.N())
+	x := make([]float64, a.N())
+	st := RecycledCG(a, x, b, nil, Options{})
+	if !st.Converged {
+		t.Fatal("nil-deflation recycled CG must be plain CG")
+	}
+}
+
+func TestDeflationUsesGSPMV(t *testing.T) {
+	// A*W must equal columnwise A*w — sanity check of the GSPMV path
+	// used by NewDeflation.
+	a := spdMatrix(21, 25, 5)
+	v1 := randVec(22, a.N())
+	v2 := randVec(23, a.N())
+	d, err := NewDeflation(a, [][]float64{v1, v2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < d.K(); j++ {
+		w := d.w.ColVector(j)
+		want := make([]float64, a.N())
+		a.MulVec(want, w)
+		aw := multivec.New(a.N(), d.K())
+		a.Mul(aw, d.w)
+		for i := range want {
+			if math.Abs(aw.At(i, j)-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+				t.Fatal("A*W column mismatch")
+			}
+		}
+	}
+}

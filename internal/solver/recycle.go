@@ -1,0 +1,102 @@
+package solver
+
+import (
+	"errors"
+
+	"repro/internal/blas"
+	"repro/internal/multivec"
+)
+
+// Deflation implements the second technique the paper lists for
+// sequences of slowly-varying systems (Section III): "recycle
+// components of the Krylov subspace from one solve to the next"
+// (after Parks et al.). A basis W spanning earlier solutions is kept;
+// before CG starts, the solve is corrected by the Galerkin projection
+//
+//	x += W (W^T A W)^{-1} W^T (b - A x),
+//
+// which removes the components of the error lying in span(W) — the
+// directions the previous solves already explored. Building the
+// projector costs one GSPMV with k vectors (A*W) per matrix, another
+// natural consumer of the multiple-vector kernel.
+type Deflation struct {
+	w  *multivec.MultiVec // n x k, orthonormal columns
+	aw *multivec.MultiVec // A*W
+	lu *blas.LU           // factorization of W^T A W
+}
+
+// K returns the number of deflation vectors retained.
+func (d *Deflation) K() int { return d.w.M }
+
+// NewDeflation orthonormalizes the given basis vectors (modified
+// Gram-Schmidt, dropping near-dependent columns), computes A*W with a
+// single GSPMV, and factors the small Galerkin matrix. It returns an
+// error if no independent directions survive.
+func NewDeflation(a BlockOperator, basis [][]float64) (*Deflation, error) {
+	n := a.N()
+	var cols [][]float64
+	for _, v := range basis {
+		if len(v) != n {
+			return nil, errors.New("solver: deflation vector length mismatch")
+		}
+		w := append([]float64(nil), v...)
+		for _, u := range cols {
+			blas.Axpy(-blas.Dot(u, w), u, w)
+		}
+		norm := blas.Nrm2(w)
+		if norm < 1e-12 {
+			continue // dependent direction
+		}
+		blas.Scal(1/norm, w)
+		cols = append(cols, w)
+	}
+	if len(cols) == 0 {
+		return nil, errors.New("solver: no independent deflation vectors")
+	}
+	w := multivec.FromColumns(cols...)
+	aw := multivec.New(n, w.M)
+	a.Mul(aw, w)
+	g := multivec.Gram(w, aw)
+	lu, err := blas.LUFactor(g)
+	if err != nil {
+		return nil, errors.New("solver: singular Galerkin matrix")
+	}
+	return &Deflation{w: w, aw: aw, lu: lu}, nil
+}
+
+// Correct applies the Galerkin correction to x in place, using one
+// matrix-vector product to form the residual. The matrix passed may
+// differ slightly from the one the deflation was built with (the
+// slowly-varying sequence); the correction remains a sensible
+// approximate projection.
+func (d *Deflation) Correct(a Operator, x, b []float64) {
+	n := len(x)
+	r := make([]float64, n)
+	a.MulVec(r, x)
+	blas.Sub(r, b, r)
+	// y = W^T r.
+	y := make([]float64, d.w.M)
+	for j := 0; j < d.w.M; j++ {
+		col := d.w.ColVector(j)
+		y[j] = blas.Dot(col, r)
+	}
+	c := make([]float64, d.w.M)
+	d.lu.Solve(c, y)
+	for j := 0; j < d.w.M; j++ {
+		col := d.w.ColVector(j)
+		blas.Axpy(c[j], col, x)
+	}
+}
+
+// RecycledCG solves A*x = b by CG after the deflation correction.
+// With d == nil it degenerates to plain CG.
+func RecycledCG(a Operator, x, b []float64, d *Deflation, opt Options) Stats {
+	var extra int
+	if d != nil {
+		d.Correct(a, x, b)
+		extra = 1 // the residual product inside Correct
+	}
+	st := CG(a, x, b, opt)
+	st.MatMuls += extra
+	return st
+}

@@ -1,0 +1,457 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bcrs"
+	"repro/internal/blas"
+	"repro/internal/multivec"
+)
+
+func spdMatrix(seed uint64, nb int, bpr float64) *bcrs.Matrix {
+	return bcrs.Random(bcrs.RandomOptions{NB: nb, BlocksPerRow: bpr, Seed: seed})
+}
+
+func randVec(seed int64, n int) []float64 {
+	rnd := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rnd.NormFloat64()
+	}
+	return v
+}
+
+func residual(a *bcrs.Matrix, x, b []float64) float64 {
+	r := make([]float64, len(b))
+	a.MulVec(r, x)
+	blas.Sub(r, b, r)
+	return blas.Nrm2(r) / blas.Nrm2(b)
+}
+
+func TestCGSolves(t *testing.T) {
+	a := spdMatrix(1, 60, 6)
+	b := randVec(2, a.N())
+	x := make([]float64, a.N())
+	st := CG(a, x, b, Options{Tol: 1e-10})
+	if !st.Converged {
+		t.Fatalf("CG did not converge: %+v", st)
+	}
+	if res := residual(a, x, b); res > 1e-9 {
+		t.Fatalf("CG residual %v", res)
+	}
+	if st.MatMuls != st.Iterations+1 {
+		t.Fatalf("CG should do 1 SPMV per iteration plus the initial residual: %+v", st)
+	}
+}
+
+func TestCGWarmStartReducesIterations(t *testing.T) {
+	// The heart of the MRHS idea: a good initial guess means fewer
+	// iterations.
+	a := spdMatrix(3, 80, 8)
+	b := randVec(4, a.N())
+	cold := make([]float64, a.N())
+	stCold := CG(a, cold, b, Options{})
+	// Warm start: the exact solution slightly perturbed.
+	warm := append([]float64(nil), cold...)
+	rnd := rand.New(rand.NewSource(5))
+	for i := range warm {
+		warm[i] += 1e-4 * rnd.NormFloat64() * (1 + math.Abs(warm[i]))
+	}
+	stWarm := CG(a, warm, b, Options{})
+	if !stWarm.Converged {
+		t.Fatal("warm CG did not converge")
+	}
+	if stWarm.Iterations >= stCold.Iterations {
+		t.Fatalf("warm start did not help: %d vs %d iterations",
+			stWarm.Iterations, stCold.Iterations)
+	}
+}
+
+func TestCGExactGuessConvergesImmediately(t *testing.T) {
+	a := spdMatrix(6, 40, 5)
+	want := randVec(7, a.N())
+	b := make([]float64, a.N())
+	a.MulVec(b, want)
+	x := append([]float64(nil), want...)
+	st := CG(a, x, b, Options{})
+	if !st.Converged || st.Iterations != 0 {
+		t.Fatalf("exact guess should converge with 0 iterations: %+v", st)
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	a := spdMatrix(8, 30, 4)
+	x := randVec(9, a.N())
+	b := make([]float64, a.N())
+	st := CG(a, x, b, Options{})
+	if !st.Converged {
+		t.Fatal("zero RHS must converge")
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Fatal("zero RHS must produce zero solution")
+		}
+	}
+}
+
+func TestCGMaxIterCap(t *testing.T) {
+	a := spdMatrix(10, 60, 8)
+	b := randVec(11, a.N())
+	x := make([]float64, a.N())
+	st := CG(a, x, b, Options{Tol: 1e-14, MaxIter: 2})
+	if st.Converged {
+		t.Fatal("2 iterations should not converge to 1e-14")
+	}
+	if st.Iterations != 2 {
+		t.Fatalf("iterations = %d, want 2", st.Iterations)
+	}
+}
+
+func TestPCGBlockJacobi(t *testing.T) {
+	a := spdMatrix(12, 80, 8)
+	b := randVec(13, a.N())
+	plain := make([]float64, a.N())
+	stPlain := CG(a, plain, b, Options{})
+	pre := make([]float64, a.N())
+	stPre := CG(a, pre, b, Options{Precond: NewBlockJacobi(a)})
+	if !stPre.Converged {
+		t.Fatal("PCG did not converge")
+	}
+	if res := residual(a, pre, b); res > 1e-5 {
+		t.Fatalf("PCG residual %v", res)
+	}
+	// Both reach the same solution.
+	for i := range plain {
+		if math.Abs(plain[i]-pre[i]) > 1e-4*(1+math.Abs(plain[i])) {
+			t.Fatal("PCG and CG disagree")
+		}
+	}
+	if stPre.Iterations > stPlain.Iterations+5 {
+		t.Fatalf("block-Jacobi made CG much worse: %d vs %d",
+			stPre.Iterations, stPlain.Iterations)
+	}
+}
+
+func TestBlockCGMatchesColumnwiseCG(t *testing.T) {
+	a := spdMatrix(14, 50, 6)
+	m := 5
+	b := multivec.New(a.N(), m)
+	rnd := rand.New(rand.NewSource(15))
+	for i := range b.Data {
+		b.Data[i] = rnd.NormFloat64()
+	}
+	x := multivec.New(a.N(), m)
+	st := BlockCG(a, x, b, Options{Tol: 1e-10})
+	if !st.Converged {
+		t.Fatalf("BlockCG did not converge: %+v", st.Stats)
+	}
+	for j := 0; j < m; j++ {
+		ref := make([]float64, a.N())
+		bcol := b.ColVector(j)
+		CG(a, ref, bcol, Options{Tol: 1e-12})
+		for i := 0; i < a.N(); i++ {
+			if math.Abs(x.At(i, j)-ref[i]) > 1e-6*(1+math.Abs(ref[i])) {
+				t.Fatalf("column %d differs from CG at %d: %v vs %v",
+					j, i, x.At(i, j), ref[i])
+			}
+		}
+	}
+}
+
+func TestBlockCGOneGSPMVPerIteration(t *testing.T) {
+	a := spdMatrix(16, 60, 8)
+	b := multivec.New(a.N(), 4)
+	rnd := rand.New(rand.NewSource(17))
+	for i := range b.Data {
+		b.Data[i] = rnd.NormFloat64()
+	}
+	x := multivec.New(a.N(), 4)
+	st := BlockCG(a, x, b, Options{})
+	if st.MatMuls != st.Iterations+1 {
+		t.Fatalf("BlockCG must cost one GSPMV per iteration: %+v", st.Stats)
+	}
+}
+
+func TestBlockCGFewerIterationsThanCG(t *testing.T) {
+	// Block CG searches an m-times larger Krylov space per
+	// iteration; it should need no more (usually fewer) iterations
+	// than single-vector CG on the same matrix.
+	a := spdMatrix(18, 80, 10)
+	m := 8
+	b := multivec.New(a.N(), m)
+	rnd := rand.New(rand.NewSource(19))
+	for i := range b.Data {
+		b.Data[i] = rnd.NormFloat64()
+	}
+	x := multivec.New(a.N(), m)
+	stBlock := BlockCG(a, x, b, Options{})
+	single := make([]float64, a.N())
+	stSingle := CG(a, single, b.ColVector(0), Options{})
+	if stBlock.Iterations > stSingle.Iterations {
+		t.Fatalf("block CG took more iterations (%d) than CG (%d)",
+			stBlock.Iterations, stSingle.Iterations)
+	}
+}
+
+func TestBlockCGZeroColumn(t *testing.T) {
+	a := spdMatrix(20, 40, 5)
+	m := 3
+	b := multivec.New(a.N(), m)
+	rnd := rand.New(rand.NewSource(21))
+	for i := 0; i < a.N(); i++ {
+		b.Set(i, 0, rnd.NormFloat64())
+		// Column 1 stays zero.
+		b.Set(i, 2, rnd.NormFloat64())
+	}
+	x := multivec.New(a.N(), m)
+	st := BlockCG(a, x, b, Options{})
+	if !st.Converged {
+		t.Fatalf("BlockCG with zero column did not converge: %+v", st.Stats)
+	}
+	for i := 0; i < a.N(); i++ {
+		if x.At(i, 1) != 0 {
+			t.Fatal("zero column must have zero solution")
+		}
+	}
+}
+
+func TestBlockCGRepeatedColumns(t *testing.T) {
+	// Identical right-hand sides provoke the rank-deficiency
+	// breakdown; the regularized solver must still deliver correct
+	// solutions for both columns.
+	a := spdMatrix(22, 40, 6)
+	col := randVec(23, a.N())
+	b := multivec.FromColumns(col, col)
+	x := multivec.New(a.N(), 2)
+	st := BlockCG(a, x, b, Options{})
+	ref := make([]float64, a.N())
+	CG(a, ref, col, Options{Tol: 1e-10})
+	for j := 0; j < 2; j++ {
+		for i := 0; i < a.N(); i++ {
+			if math.Abs(x.At(i, j)-ref[i]) > 1e-4*(1+math.Abs(ref[i])) {
+				t.Fatalf("repeated-column solve wrong (converged=%v, res=%v)",
+					st.Converged, st.Residual)
+			}
+		}
+	}
+}
+
+func TestBlockCGWarmStart(t *testing.T) {
+	a := spdMatrix(24, 60, 8)
+	m := 4
+	b := multivec.New(a.N(), m)
+	rnd := rand.New(rand.NewSource(25))
+	for i := range b.Data {
+		b.Data[i] = rnd.NormFloat64()
+	}
+	cold := multivec.New(a.N(), m)
+	stCold := BlockCG(a, cold, b, Options{})
+	warm := cold.Clone()
+	for i := range warm.Data {
+		warm.Data[i] *= 1 + 1e-5*rnd.NormFloat64()
+	}
+	stWarm := BlockCG(a, warm, b, Options{})
+	if stWarm.Iterations >= stCold.Iterations {
+		t.Fatalf("warm block start did not help: %d vs %d",
+			stWarm.Iterations, stCold.Iterations)
+	}
+}
+
+func TestFactorDenseSolve(t *testing.T) {
+	a := spdMatrix(26, 20, 4)
+	f, err := FactorDense(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := randVec(27, a.N())
+	b := make([]float64, a.N())
+	a.MulVec(b, want)
+	x := make([]float64, a.N())
+	f.Solve(x, b)
+	for i := range x {
+		if math.Abs(x[i]-want[i]) > 1e-8*(1+math.Abs(want[i])) {
+			t.Fatal("Cholesky solve wrong")
+		}
+	}
+}
+
+func TestBrownianForceCovariance(t *testing.T) {
+	// f = L*z has covariance A by construction; spot-check the
+	// second moment of a single component over many draws.
+	a := spdMatrix(28, 4, 2)
+	f, err := FactorDense(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := a.N()
+	d := a.Dense()
+	rnd := rand.New(rand.NewSource(29))
+	z := make([]float64, n)
+	fv := make([]float64, n)
+	var acc float64
+	const samples = 40000
+	for s := 0; s < samples; s++ {
+		for i := range z {
+			z[i] = rnd.NormFloat64()
+		}
+		f.BrownianForce(fv, z)
+		acc += fv[0] * fv[0]
+	}
+	got := acc / samples
+	want := d.At(0, 0)
+	if math.Abs(got-want) > 0.05*want {
+		t.Fatalf("E[f0^2] = %v, want %v", got, want)
+	}
+}
+
+func TestRefineWithNearbyMatrix(t *testing.T) {
+	// Factor A, then solve a perturbed A' via refinement with the
+	// stale factor — the paper's one-factorization-per-step trick.
+	a := spdMatrix(30, 30, 5)
+	f, err := FactorDense(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb by scaling: A' = A * 1.01 keeps SPD and proximity.
+	d := a.Dense()
+	for i := range d.Data {
+		d.Data[i] *= 1.01
+	}
+	aNew := bcrs.FromDense(d)
+	b := randVec(31, a.N())
+	x := make([]float64, a.N())
+	f.Solve(x, b) // initial guess: solution with the stale matrix
+	st := f.Refine(aNew, x, b, Options{Tol: 1e-10})
+	if !st.Converged {
+		t.Fatalf("refinement did not converge: %+v", st)
+	}
+	if st.Iterations > 10 {
+		t.Fatalf("refinement took %d sweeps; nearby matrix should need few", st.Iterations)
+	}
+	if res := residual(aNew, x, b); res > 1e-9 {
+		t.Fatalf("refined residual %v", res)
+	}
+}
+
+func TestRefineZeroRHS(t *testing.T) {
+	a := spdMatrix(32, 10, 3)
+	f, err := FactorDense(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randVec(33, a.N())
+	st := f.Refine(a, x, make([]float64, a.N()), Options{})
+	if !st.Converged {
+		t.Fatal("zero RHS refine must converge")
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Fatal("zero RHS refine must zero the solution")
+		}
+	}
+}
+
+func TestBlockJacobiApply(t *testing.T) {
+	// On a block-diagonal matrix the preconditioner is exact: PCG
+	// converges in one iteration.
+	b := bcrs.NewBuilder(10)
+	rnd := rand.New(rand.NewSource(34))
+	for i := 0; i < 10; i++ {
+		var blk blas.Mat3
+		for q := range blk {
+			blk[q] = rnd.NormFloat64() * 0.1
+		}
+		sym := blk.AddM(blk.Transpose3())
+		sym = sym.AddM(blas.Ident3().ScaleM(2))
+		b.AddBlock(i, i, sym)
+	}
+	a := b.Build()
+	rhs := randVec(35, a.N())
+	x := make([]float64, a.N())
+	st := CG(a, x, rhs, Options{Precond: NewBlockJacobi(a)})
+	if !st.Converged || st.Iterations > 2 {
+		t.Fatalf("exact preconditioner should converge in ~1 iteration: %+v", st)
+	}
+}
+
+func TestBlockPCGMatchesBlockCG(t *testing.T) {
+	a := spdMatrix(36, 60, 8)
+	m := 4
+	b := multivec.New(a.N(), m)
+	rnd := rand.New(rand.NewSource(37))
+	for i := range b.Data {
+		b.Data[i] = rnd.NormFloat64()
+	}
+	plain := multivec.New(a.N(), m)
+	stPlain := BlockCG(a, plain, b, Options{Tol: 1e-10})
+	ic, err := NewIC0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := multivec.New(a.N(), m)
+	stPre := BlockCG(a, pre, b, Options{Tol: 1e-10, Precond: ic})
+	if !stPre.Converged {
+		t.Fatal("block PCG stalled")
+	}
+	for i := range plain.Data {
+		if math.Abs(plain.Data[i]-pre.Data[i]) > 1e-6*(1+math.Abs(plain.Data[i])) {
+			t.Fatal("block PCG solution differs from block CG")
+		}
+	}
+	if stPre.Iterations >= stPlain.Iterations {
+		t.Fatalf("IC0 did not accelerate block CG: %d vs %d",
+			stPre.Iterations, stPlain.Iterations)
+	}
+}
+
+func TestBlockPCGBlockJacobi(t *testing.T) {
+	a := spdMatrix(38, 50, 6)
+	m := 3
+	b := multivec.New(a.N(), m)
+	rnd := rand.New(rand.NewSource(39))
+	for i := range b.Data {
+		b.Data[i] = rnd.NormFloat64()
+	}
+	x := multivec.New(a.N(), m)
+	st := BlockCG(a, x, b, Options{Precond: NewBlockJacobi(a)})
+	if !st.Converged {
+		t.Fatal("block-Jacobi block PCG stalled")
+	}
+	// Verify against columnwise CG.
+	for j := 0; j < m; j++ {
+		ref := make([]float64, a.N())
+		CG(a, ref, b.ColVector(j), Options{Tol: 1e-10})
+		for i := 0; i < a.N(); i++ {
+			if math.Abs(x.At(i, j)-ref[i]) > 1e-4*(1+math.Abs(ref[i])) {
+				t.Fatal("block PCG column wrong")
+			}
+		}
+	}
+}
+
+func TestCGTrackResiduals(t *testing.T) {
+	a := spdMatrix(40, 50, 6)
+	b := randVec(41, a.N())
+	x := make([]float64, a.N())
+	st := CG(a, x, b, Options{Tol: 1e-8, TrackResiduals: true})
+	if !st.Converged {
+		t.Fatal("did not converge")
+	}
+	if len(st.Residuals) != st.Iterations {
+		t.Fatalf("recorded %d residuals for %d iterations", len(st.Residuals), st.Iterations)
+	}
+	last := st.Residuals[len(st.Residuals)-1]
+	if last > 1e-8 {
+		t.Fatalf("last residual %v above tolerance", last)
+	}
+	if last != st.Residual {
+		t.Fatal("final entry must equal Stats.Residual")
+	}
+	// Default: no tracking, no allocation.
+	st2 := CG(a, make([]float64, a.N()), b, Options{})
+	if st2.Residuals != nil {
+		t.Fatal("residuals recorded without TrackResiduals")
+	}
+}

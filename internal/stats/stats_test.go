@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/particles"
+	"repro/internal/rng"
+)
+
+func TestMSDUniformMotion(t *testing.T) {
+	// Every particle moving at unit speed along x: MSD after k steps
+	// of size dt is (k*dt)^2.
+	n, dt := 10, 0.5
+	m := NewMSD(n, dt)
+	u := make([]float64, 3*n)
+	for i := 0; i < n; i++ {
+		u[3*i] = 1
+	}
+	for k := 0; k < 4; k++ {
+		m.Observe(k, u, dt)
+	}
+	for k, got := range m.Curve {
+		want := math.Pow(float64(k+1)*dt, 2)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("MSD[%d] = %v, want %v", k, got, want)
+		}
+	}
+	if m.Steps() != 4 {
+		t.Fatalf("Steps = %d", m.Steps())
+	}
+}
+
+func TestMSDDiffusionCoefficient(t *testing.T) {
+	// Brownian steps with variance 2*D*dt per axis: the fitted D
+	// must match within statistical error.
+	const (
+		n    = 2000
+		dt   = 1.0
+		want = 0.25
+	)
+	m := NewMSD(n, dt)
+	s := rng.New(4)
+	sigma := math.Sqrt(2 * want * dt)
+	u := make([]float64, 3*n)
+	for k := 0; k < 40; k++ {
+		for i := range u {
+			u[i] = sigma * s.Normal() / dt // displacement sigma per step
+		}
+		m.Observe(k, u, dt)
+	}
+	got := m.DiffusionCoefficient()
+	if math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("D = %v, want ~%v", got, want)
+	}
+}
+
+func TestMSDEmpty(t *testing.T) {
+	m := NewMSD(5, 1)
+	if m.DiffusionCoefficient() != 0 {
+		t.Fatal("empty MSD must give D=0")
+	}
+}
+
+func TestRDFIdealGasNearOne(t *testing.T) {
+	// Random points (no interactions): g(r) ~ 1 away from zero.
+	sys := &particles.System{N: 4000, Box: 20}
+	s := rng.New(7)
+	for i := 0; i < sys.N; i++ {
+		sys.Pos = append(sys.Pos, [3]float64{s.Float64() * 20, s.Float64() * 20, s.Float64() * 20})
+		sys.Radius = append(sys.Radius, 0.1)
+	}
+	rdf := ComputeRDF(sys, 0.5, 8)
+	for i, g := range rdf.G {
+		if rdf.R[i] < 1 {
+			continue // tiny bins are noisy
+		}
+		if math.Abs(g-1) > 0.15 {
+			t.Fatalf("ideal-gas g(%v) = %v, want ~1", rdf.R[i], g)
+		}
+	}
+}
+
+func TestRDFExcludedVolume(t *testing.T) {
+	// A hard-sphere packing has g(r) = 0 inside contact and a peak
+	// near contact.
+	sys, err := particles.New(particles.Options{N: 600, Phi: 0.45, Seed: 9, MonodisperseRadius: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdf := ComputeRDF(sys, 0.1, 6)
+	for i, g := range rdf.G {
+		if rdf.R[i] < 1.8 && g > 0 {
+			t.Fatalf("g(%v) = %v inside the excluded core", rdf.R[i], g)
+		}
+	}
+	pos, height := rdf.ContactPeak()
+	if height < 1.2 {
+		t.Fatalf("no contact peak: height %v", height)
+	}
+	if pos < 1.8 || pos > 3 {
+		t.Fatalf("contact peak at %v, want near contact (2)", pos)
+	}
+}
+
+func TestRDFClampsRange(t *testing.T) {
+	sys, err := particles.New(particles.Options{N: 50, Phi: 0.2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdf := ComputeRDF(sys, sys.Box/20, sys.Box) // rmax beyond box/2
+	last := rdf.R[len(rdf.R)-1]
+	if last > sys.Box/2 {
+		t.Fatalf("RDF bin center %v beyond box/2", last)
+	}
+}
+
+func TestVACFStartsAtOne(t *testing.T) {
+	v := NewVACF()
+	u := []float64{1, 2, 3}
+	v.Observe(0, u, 1)
+	if math.Abs(v.Curve[0]-1) > 1e-15 {
+		t.Fatalf("C(0) = %v, want 1", v.Curve[0])
+	}
+	// Orthogonal velocity: correlation 0.
+	v.Observe(1, []float64{2, -1, 0}, 1)
+	if math.Abs(v.Curve[1]) > 1e-15 {
+		t.Fatalf("C(1) = %v, want 0", v.Curve[1])
+	}
+	// Anti-parallel: -1.
+	v.Observe(2, []float64{-1, -2, -3}, 1)
+	if math.Abs(v.Curve[2]+1) > 1e-15 {
+		t.Fatalf("C(2) = %v, want -1", v.Curve[2])
+	}
+}
+
+func TestVACFZeroReference(t *testing.T) {
+	v := NewVACF()
+	v.Observe(0, []float64{0, 0}, 1)
+	v.Observe(1, []float64{1, 1}, 1)
+	if v.Curve[0] != 0 || v.Curve[1] != 0 {
+		t.Fatal("zero reference must give zero correlations")
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	var a, b int
+	obs := Multi(
+		func(int, []float64, float64) { a++ },
+		func(int, []float64, float64) { b++ },
+	)
+	obs(0, nil, 1)
+	obs(1, nil, 1)
+	if a != 2 || b != 2 {
+		t.Fatalf("Multi fan-out wrong: %d %d", a, b)
+	}
+}

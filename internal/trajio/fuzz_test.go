@@ -1,0 +1,28 @@
+package trajio
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead hardens the XYZ parser: no panics, and every accepted
+// frame is internally consistent.
+func FuzzRead(f *testing.F) {
+	f.Add("1\nframe\nR1 0.0 0.0 0.0 1.0\n")
+	f.Add("2\nstep 3\nR1 1 2 3 4\nR2 5 6 7 8\n")
+	f.Add("0\nempty\n")
+	f.Add("")
+	f.Add("x\n")
+	f.Add("1\nc\nR1 a b c\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		frames, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		for _, fr := range frames {
+			if len(fr.Radius) != 0 && len(fr.Radius) != len(fr.Pos) {
+				t.Fatal("radii/positions mismatch in accepted frame")
+			}
+		}
+	})
+}
