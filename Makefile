@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench bench-snapshot
+
+# ci is the gate: vet, build everything, then the full test suite
+# under the race detector (the obs hot paths are lock-free; -race is
+# what validates them).
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# bench-snapshot produces the BENCH_obs.json artifact two ways: the
+# quick test-fixture route (BENCH_OBS_JSON env var) and the heavier
+# gspmv-bench sweep with kernel counters.
+bench-snapshot:
+	BENCH_OBS_JSON=$(CURDIR)/BENCH_obs.json $(GO) test -run TestBenchObsSnapshot .
+	$(GO) run ./cmd/gspmv-bench -nb 10000 -m 1,2,4,8,16 -obs-json $(CURDIR)/BENCH_obs.json

@@ -39,15 +39,17 @@ var (
 
 func fixtures(b *testing.B) {
 	b.Helper()
-	fixOnce.Do(func() {
-		var err error
-		fixSys, err = particles.New(particles.Options{N: 1500, Phi: 0.5, Seed: 11})
-		if err != nil {
-			panic(err)
-		}
-		fixMat = hydro.Build(fixSys, hydro.Options{Phi: 0.5, CutoffXi: 2.5})
-		fixMat1 = hydro.Build(fixSys, hydro.Options{Phi: 0.5, CutoffXi: 0.15})
-	})
+	fixOnce.Do(buildFixtures)
+}
+
+func buildFixtures() {
+	var err error
+	fixSys, err = particles.New(particles.Options{N: 1500, Phi: 0.5, Seed: 11})
+	if err != nil {
+		panic(err)
+	}
+	fixMat = hydro.Build(fixSys, hydro.Options{Phi: 0.5, CutoffXi: 2.5})
+	fixMat1 = hydro.Build(fixSys, hydro.Options{Phi: 0.5, CutoffXi: 0.15})
 }
 
 // ---- Table I: matrix generation ----

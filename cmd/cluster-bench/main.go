@@ -20,6 +20,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/multivec"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/rng"
 	"repro/internal/solver"
@@ -36,8 +37,20 @@ func main() {
 		overlap = flag.Bool("overlap", true, "model communication/computation overlap")
 		solve   = flag.Bool("solve", false, "also run a distributed block-CG solve (the MRHS augmented system) on the largest node count")
 		detail  = flag.Bool("detail", false, "print per-node load/communication detail for the largest node count")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address (e.g. :9090 or :0)")
+		obsJSON     = flag.String("obs-json", "", "write an obs metrics snapshot (JSON) to this file after the run")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, obs.Default)
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: serving on http://%s/metrics\n", srv.Addr())
+	}
 
 	nodes := mustInts(*nodesF)
 	ms := mustInts(*msF)
@@ -142,6 +155,20 @@ func main() {
 		if worst > 1e-9 {
 			fail(fmt.Errorf("functional distributed multiply diverged"))
 		}
+	}
+
+	snap := obs.Default.Snapshot()
+	if muls := snap.Counters["cluster_mul_calls_total"]; muls > 0 {
+		fmt.Printf("\nhalo-exchange totals: %d distributed multiplies, %d messages, %.2f MiB payload, %d halo block rows\n",
+			muls, snap.Counters["cluster_messages_total"],
+			float64(snap.Counters["cluster_payload_bytes_total"])/(1<<20),
+			snap.Counters["cluster_halo_block_rows_total"])
+	}
+	if *obsJSON != "" {
+		if err := snap.SaveFile(*obsJSON); err != nil {
+			fail(err)
+		}
+		fmt.Printf("obs snapshot written to %s\n", *obsJSON)
 	}
 }
 

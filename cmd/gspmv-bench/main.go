@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/bcrs"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/perf"
 )
 
@@ -27,6 +28,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "matrix seed")
 		threads = flag.Int("threads", 1, "kernel threads")
 		k       = flag.Float64("k", 3, "model k(m): extra X accesses per element")
+		obsJSON = flag.String("obs-json", "", "write an obs metrics snapshot (JSON, e.g. BENCH_obs.json) to this file after the run")
 	)
 	flag.Parse()
 
@@ -55,6 +57,14 @@ func main() {
 			m, fmt.Sprintf("%.3fms", r.Secs*1e3), r.Secs/t1, g.RelativeTime(m), r.GBps, r.Gflops)
 	}
 	fmt.Printf("\nmodel switch point m_s = %d (bandwidth -> compute bound)\n", g.MSwitch(256))
+
+	if *obsJSON != "" {
+		if err := obs.Default.Snapshot().SaveFile(*obsJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "gspmv-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("obs snapshot written to %s\n", *obsJSON)
+	}
 }
 
 func parseInts(s string) ([]int, error) {

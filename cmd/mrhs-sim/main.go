@@ -19,7 +19,9 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/hydro"
+	"repro/internal/obs"
 	"repro/internal/particles"
+	"repro/internal/perf"
 	"repro/internal/sd"
 	"repro/internal/solver"
 	"repro/internal/trajio"
@@ -40,8 +42,21 @@ func main() {
 		resume  = flag.String("resume", "", "resume from a checkpoint file (overrides -n, -phi, -seed)")
 		xyz     = flag.String("xyz", "", "write an XYZ trajectory (one frame per step) to this file")
 		precond = flag.String("precond", "none", "first-solve preconditioning: none, ic0 (adaptive reuse), jacobi")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address (e.g. :9090 or :0)")
+		obsJSON     = flag.String("obs-json", "", "write an obs metrics snapshot (JSON) to this file after the run")
+		events      = flag.String("events", "", "write per-step structured events (JSONL) to this file")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, obs.Default)
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: serving on http://%s/metrics\n", srv.Addr())
+	}
 
 	var sys *particles.System
 	startStep := 0
@@ -98,10 +113,18 @@ func main() {
 		fmt.Printf("cholesky: %d steps, factor %.3fs force %.3fs solve %.3fs refine %.3fs (%d refine sweeps)\n",
 			r.Steps, r.FactorTime.Seconds(), r.ForceTime.Seconds(),
 			r.SolveTime.Seconds(), r.RefineTime.Seconds(), r.RefineIters)
-		return
 	case "mrhs", "original":
 		sim := sd.New(sys, hopt, cfg, *threads)
 		sim.SkipTo(startStep)
+		if *events != "" {
+			f, err := os.Create(*events)
+			if err != nil {
+				fail(err)
+			}
+			el := obs.NewEventLog(f)
+			defer el.Close()
+			sim.Events = el
+		}
 		if *xyz != "" {
 			f, err := os.Create(*xyz)
 			if err != nil {
@@ -146,6 +169,33 @@ func main() {
 		}
 	default:
 		fail(fmt.Errorf("unknown algorithm %q", *alg))
+	}
+
+	if rep := perf.KernelObsReport(nil); len(rep) > 0 {
+		fmt.Printf("\nkernel counters (bcrs_mul, per m):\n")
+		fmt.Printf("  %4s %8s %10s %8s %9s %6s\n", "m", "calls", "secs", "GB/s", "Gflop/s", "r(m)")
+		for _, k := range rep {
+			fmt.Printf("  %4d %8d %10.4f %8.2f %9.2f %6.2f\n",
+				k.M, k.Calls, k.Secs, k.GBps, k.Gflops, k.R)
+		}
+	}
+	if *obsJSON != "" {
+		if err := obs.Default.Snapshot().SaveFile(*obsJSON); err != nil {
+			fail(err)
+		}
+		fmt.Printf("obs snapshot written to %s\n", *obsJSON)
+	}
+	// Defensive backstop: solver non-convergence surfaces as an error
+	// from the run (handled above), but if any failure counter ticked
+	// without aborting the run, still exit non-zero.
+	var failures int64
+	for name, v := range obs.Default.Snapshot().Counters {
+		if base, _ := obs.SplitName(name); base == "core_solve_failures_total" {
+			failures += v
+		}
+	}
+	if failures > 0 {
+		fail(fmt.Errorf("%d solver non-convergence event(s) recorded", failures))
 	}
 }
 

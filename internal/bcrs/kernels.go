@@ -2,6 +2,7 @@ package bcrs
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/multivec"
 )
@@ -12,9 +13,11 @@ func (a *Matrix) MulVec(y, x []float64) {
 	if len(x) != a.NCols() || len(y) != a.N() {
 		panic("bcrs: MulVec dimension mismatch")
 	}
+	t0 := time.Now()
 	a.parallel(func(lo, hi int) {
 		spmv1(a.rowPtr, a.colIdx, a.vals, x, y, lo, hi)
 	})
+	a.recordMul(1, time.Since(t0).Seconds())
 }
 
 // Mul computes Y = A*X, the generalized SPMV with X.M simultaneous
@@ -56,7 +59,9 @@ func (a *Matrix) mul(y, x *multivec.MultiVec, forceGeneric bool) {
 			kern = func(lo, hi int) { gspmv32(a.rowPtr, a.colIdx, a.vals, x.Data, y.Data, lo, hi) }
 		}
 	}
+	t0 := time.Now()
 	a.parallel(kern)
+	a.recordMul(m, time.Since(t0).Seconds())
 }
 
 // parallel runs fn over the thread-blocked block-row ranges. Each

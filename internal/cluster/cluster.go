@@ -33,7 +33,21 @@ import (
 	"repro/internal/blas"
 	"repro/internal/model"
 	"repro/internal/multivec"
+	"repro/internal/obs"
 	"repro/internal/partition"
+)
+
+// Halo-exchange observability: every distributed multiply reports the
+// message count and payload volume of its communication pattern (from
+// the partitioning's CommStats — the same numbers a real MPI run
+// would put on the wire) into obs.Default, alongside per-multiply
+// call counters. These are the Table III communication quantities as
+// running totals.
+var (
+	clusterMuls     = obs.Default.Counter("cluster_mul_calls_total")
+	clusterMessages = obs.Default.Counter("cluster_messages_total")
+	clusterBytes    = obs.Default.Counter("cluster_payload_bytes_total")
+	clusterHaloRows = obs.Default.Counter("cluster_halo_block_rows_total")
 )
 
 // Cluster is a matrix distributed over p simulated nodes.
@@ -234,6 +248,10 @@ func (c *Cluster) Mul(y, x *multivec.MultiVec) {
 		panic("cluster: Mul dimension mismatch")
 	}
 	m := x.M
+	clusterMuls.Inc()
+	clusterMessages.Add(c.stats.Messages)
+	clusterBytes.Add(c.stats.VolumeBytes(m))
+	clusterHaloRows.Add(c.stats.RemoteBlockRows)
 
 	// chans[src][dst] carries the packed halo payload.
 	chans := make([][]chan []float64, c.p)

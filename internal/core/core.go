@@ -35,6 +35,7 @@ import (
 	"repro/internal/blas"
 	"repro/internal/chebyshev"
 	"repro/internal/multivec"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/solver"
 )
@@ -216,6 +217,18 @@ type Runner struct {
 	// midpoint velocity used to advance (for trajectory statistics
 	// such as diffusion constants). The slice must not be retained.
 	OnStep func(step int, u []float64, dt float64)
+
+	// Obs receives the runner's metrics: per-phase wall seconds
+	// (phase_seconds_total{phase="..."} for each PhaseMetricNames
+	// entry), step and iteration counters, and the warm-start guess
+	// error histogram. Nil means obs.Default.
+	Obs *obs.Registry
+
+	// Events, if non-nil, receives one structured "step" record per
+	// completed time step and one "chunk" record per MRHS augmented
+	// solve — the JSONL log from which a Table VI/VII-style phase
+	// breakdown is reproducible (see README "Observability").
+	Events *obs.EventLog
 }
 
 // NewRunner wraps the starting configuration.
@@ -243,6 +256,111 @@ func (r *Runner) SkipTo(step int) {
 
 // Cfg returns the effective (defaulted) configuration.
 func (r *Runner) Cfg() Config { return r.cfg }
+
+// PhaseMetricNames maps the Timings fields to the phase label used in
+// the obs metrics and the `<phase>_s` field keys of the JSONL step
+// records, in PhaseOrder order.
+var PhaseMetricNames = []string{
+	"construct", "cheb_vectors", "calc_guesses",
+	"cheb_single", "first_solve", "second_solve",
+}
+
+func (r *Runner) obsReg() *obs.Registry {
+	if r.Obs != nil {
+		return r.Obs
+	}
+	return obs.Default
+}
+
+// phaseDeltas returns the wall time each phase accumulated between
+// two Timings snapshots, keyed by PhaseMetricNames.
+func phaseDeltas(before, after Timings) map[string]time.Duration {
+	return map[string]time.Duration{
+		"construct":    after.Construct - before.Construct,
+		"cheb_vectors": after.ChebVectors - before.ChebVectors,
+		"calc_guesses": after.CalcGuesses - before.CalcGuesses,
+		"cheb_single":  after.ChebSingle - before.ChebSingle,
+		"first_solve":  after.FirstSolve - before.FirstSolve,
+		"second_solve": after.SecondSolve - before.SecondSolve,
+	}
+}
+
+// emitStep records one completed step's metrics and, when an event
+// log is attached, its JSONL record. before is the Timings snapshot
+// taken when the step's work began, so the deltas are this step's
+// phase costs alone.
+func (r *Runner) emitStep(rec StepRecord, alg string, before Timings) {
+	reg := r.obsReg()
+	deltas := phaseDeltas(before, r.Timings)
+	for phase, d := range deltas {
+		if d > 0 {
+			reg.ObservePhase(phase, d)
+		}
+	}
+	reg.Counter(obs.Label("core_steps_total", "alg", alg)).Inc()
+	reg.Counter("core_first_solve_iterations_total").Add(int64(rec.FirstIters))
+	reg.Counter("core_second_solve_iterations_total").Add(int64(rec.SecondIters))
+	if rec.HadGuess {
+		reg.Counter("core_warm_steps_total").Inc()
+		if rec.GuessRelError > 0 {
+			reg.Histogram("core_guess_rel_error", obs.ResidualBuckets).Observe(rec.GuessRelError)
+		}
+	}
+	if r.Events != nil {
+		f := map[string]any{
+			"step":         rec.Step,
+			"alg":          alg,
+			"first_iters":  rec.FirstIters,
+			"second_iters": rec.SecondIters,
+			"had_guess":    rec.HadGuess,
+		}
+		if rec.GuessRelError > 0 {
+			f["guess_rel_error"] = rec.GuessRelError
+		}
+		for phase, d := range deltas {
+			if d > 0 {
+				f[phase+"_s"] = d.Seconds()
+			}
+		}
+		r.Events.Emit("step", f)
+	}
+}
+
+// emitChunk records the chunk-level work of one MRHS augmented solve
+// (matrix construction at R_0, the m-vector Chebyshev evaluation, and
+// the block solve), which precedes the per-step records of the chunk.
+func (r *Runner) emitChunk(m int, st solver.BlockStats, before Timings) {
+	reg := r.obsReg()
+	deltas := phaseDeltas(before, r.Timings)
+	for phase, d := range deltas {
+		if d > 0 {
+			reg.ObservePhase(phase, d)
+		}
+	}
+	reg.Counter("core_chunks_total").Inc()
+	reg.Counter("core_block_iterations_total").Add(int64(st.Iterations))
+	if r.Events != nil {
+		f := map[string]any{
+			"step":           r.k,
+			"m":              m,
+			"block_iters":    st.Iterations,
+			"block_residual": st.Residual,
+		}
+		for phase, d := range deltas {
+			if d > 0 {
+				f[phase+"_s"] = d.Seconds()
+			}
+		}
+		r.Events.Emit("chunk", f)
+	}
+}
+
+// noteFailure counts a non-converged solve before the step surfaces
+// it as an error, so scripted runs see the failure in metrics even
+// when they cannot read the process exit status.
+func (r *Runner) noteFailure(kind string) {
+	r.obsReg().Counter(obs.Label("core_solve_failures_total", "kind", kind)).Inc()
+}
 
 // noise returns z_k for global step k, scaled by ForceScale.
 func (r *Runner) noise(k int) []float64 {
@@ -331,6 +449,7 @@ func (r *Runner) firstSolve(a *bcrs.Matrix, op DistOp, x, b []float64) solver.St
 // take the midpoint, solve warm, advance.
 func (r *Runner) StepOriginal() error {
 	dim := r.cur.Dim()
+	tm0 := r.Timings
 
 	t0 := time.Now()
 	a := r.cur.Build()
@@ -353,6 +472,7 @@ func (r *Runner) StepOriginal() error {
 	st1 := r.firstSolve(a, op, u, rhs)
 	r.Timings.FirstSolve += time.Since(t0)
 	if !st1.Converged {
+		r.noteFailure("first_solve")
 		return fmt.Errorf("core: step %d first solve stalled at residual %g", r.k, st1.Residual)
 	}
 
@@ -366,6 +486,7 @@ func (r *Runner) StepOriginal() error {
 	r.Records = append(r.Records, rec)
 
 	r.advance(uHalf)
+	r.emitStep(rec, "original", tm0)
 	return nil
 }
 
@@ -396,6 +517,7 @@ func (r *Runner) secondSolve(u, rhs []float64) ([]float64, solver.Stats, error) 
 	st := solver.CG(opHalf, uHalf, rhs, r.solveOpts())
 	r.Timings.SecondSolve += time.Since(t0)
 	if !st.Converged {
+		r.noteFailure("second_solve")
 		return nil, st, fmt.Errorf("core: step %d second solve stalled at residual %g", r.k, st.Residual)
 	}
 	return uHalf, st, nil
@@ -413,6 +535,7 @@ func (r *Runner) StepMRHS(steps int) error {
 		return nil
 	}
 	dim := r.cur.Dim()
+	tm0 := r.Timings
 
 	// Step 1: construct R_0.
 	t0 := time.Now()
@@ -458,11 +581,14 @@ func (r *Runner) StepMRHS(steps int) error {
 	r.Timings.CalcGuesses += time.Since(t0)
 	r.BlockIters += stB.Iterations
 	if !stB.Converged {
+		r.noteFailure("block_solve")
 		return fmt.Errorf("core: chunk at step %d augmented solve stalled at residual %g", r.k, stB.Residual)
 	}
+	r.emitChunk(m, stB, tm0)
 
 	// Steps 4-6: the first time step uses u_0 directly (its first
 	// solve already happened inside the block solve).
+	tmStep := r.Timings
 	rhs0 := fb.ColVector(0)
 	u0 := u.ColVector(0)
 	rec := StepRecord{Step: r.k, FirstIters: 0, HadGuess: true}
@@ -473,10 +599,12 @@ func (r *Runner) StepMRHS(steps int) error {
 	rec.SecondIters = st2.Iterations
 	r.Records = append(r.Records, rec)
 	r.advance(uHalf)
+	r.emitStep(rec, "mrhs", tmStep)
 
 	// Steps 7-14: remaining m-1 steps, warm-started from the
 	// augmented solutions.
 	for j := 1; j < m; j++ {
+		tmStep := r.Timings
 		t0 = time.Now()
 		ak := r.cur.Build()
 		r.Timings.Construct += time.Since(t0)
@@ -498,6 +626,7 @@ func (r *Runner) StepMRHS(steps int) error {
 		st1 := r.firstSolve(ak, opk, uk, rhs)
 		r.Timings.FirstSolve += time.Since(t0)
 		if !st1.Converged {
+			r.noteFailure("first_solve")
 			return fmt.Errorf("core: step %d first solve stalled at residual %g", r.k, st1.Residual)
 		}
 
@@ -512,6 +641,7 @@ func (r *Runner) StepMRHS(steps int) error {
 		r.Records = append(r.Records, rec)
 
 		r.advance(uHalf)
+		r.emitStep(rec, "mrhs", tmStep)
 	}
 	return nil
 }

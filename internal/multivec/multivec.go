@@ -167,6 +167,8 @@ func (v *MultiVec) AddMul(x *MultiVec, a *blas.Dense) {
 	if x.N != v.N || a.Rows != x.M || a.Cols != v.M {
 		panic("multivec: AddMul dimension mismatch")
 	}
+	addMulCalls.Inc()
+	addMulFlops.Add(2 * int64(v.N) * int64(x.M) * int64(v.M))
 	mx, mv := x.M, v.M
 	if mx == mv && addMulFixed(v.Data, x.Data, a.Data, v.N, mv) {
 		return
@@ -189,6 +191,8 @@ func (v *MultiVec) SetMulAdd(r, p *MultiVec, b *blas.Dense) {
 	if r.N != v.N || r.M != v.M || p.N != v.N || b.Rows != p.M || b.Cols != v.M {
 		panic("multivec: SetMulAdd dimension mismatch")
 	}
+	setMulAddCalls.Inc()
+	setMulAddFlops.Add(2 * int64(v.N) * int64(p.M) * int64(v.M))
 	mp, mv := p.M, v.M
 	if mp == mv && setMulAddFixed(v.Data, r.Data, p.Data, b.Data, v.N, mv) {
 		return
@@ -212,6 +216,8 @@ func Gram(x, y *MultiVec) *blas.Dense {
 	if x.N != y.N {
 		panic("multivec: Gram dimension mismatch")
 	}
+	gramCalls.Inc()
+	gramFlops.Add(2 * int64(x.N) * int64(x.M) * int64(y.M))
 	g := blas.NewDense(x.M, y.M)
 	mx, my := x.M, y.M
 	if mx == my && gramFixed(g.Data, x.Data, y.Data, x.N, my) {

@@ -1,0 +1,16 @@
+package multivec
+
+import "repro/internal/obs"
+
+// Block-vector operation counters. One block-CG iteration performs
+// two Gram products, two AddMul-family updates, and one ColNorms scan
+// besides its GSPMV; these counters make the non-kernel flop share of
+// the augmented solve visible next to the bcrs_mul_* kernel counters.
+var (
+	gramCalls      = obs.Default.Counter("multivec_gram_calls_total")
+	gramFlops      = obs.Default.Counter("multivec_gram_flops_total")
+	addMulCalls    = obs.Default.Counter("multivec_addmul_calls_total")
+	addMulFlops    = obs.Default.Counter("multivec_addmul_flops_total")
+	setMulAddCalls = obs.Default.Counter("multivec_setmuladd_calls_total")
+	setMulAddFlops = obs.Default.Counter("multivec_setmuladd_flops_total")
+)

@@ -4,6 +4,15 @@ import (
 	"math"
 
 	"repro/internal/blas"
+	"repro/internal/obs"
+)
+
+// List observability: the rebuild/reuse split determines how well the
+// Verlet amortization is working, which the paper folds into its
+// "Construct" phase. Counted across all lists in the process.
+var (
+	obsRebuilds = obs.Default.Counter("neighbor_list_rebuilds_total")
+	obsReuses   = obs.Default.Counter("neighbor_list_reuses_total")
 )
 
 // List is a Verlet neighbor list: a cached set of candidate pairs
@@ -73,6 +82,7 @@ func (l *List) rebuild(pos []blas.Vec3) {
 		l.candidates = append(l.candidates, [2]int32{int32(p.I), int32(p.J)})
 	})
 	l.Rebuilds++
+	obsRebuilds.Inc()
 }
 
 // ForEach visits every pair of pos with minimum-image distance below
@@ -83,6 +93,7 @@ func (l *List) ForEach(pos []blas.Vec3, fn func(Pair)) {
 		l.rebuild(pos)
 	} else {
 		l.Reuses++
+		obsReuses.Inc()
 	}
 	cutoff2 := l.cutoff * l.cutoff
 	for _, c := range l.candidates {

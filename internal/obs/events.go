@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventLog writes structured events as JSON Lines: one object per
+// line with an "event" kind, an RFC 3339 timestamp "t", and the
+// caller's fields. It replaces ad-hoc per-step prints with records a
+// script can aggregate into the paper's phase-breakdown tables.
+//
+// Emit is safe for concurrent use. The log buffers; call Flush (or
+// Close) before reading the underlying file.
+type EventLog struct {
+	mu sync.Mutex
+	bw *bufio.Writer
+	c  io.Closer
+
+	// now is stubbed in tests.
+	now func() time.Time
+}
+
+// NewEventLog wraps a writer. If w is also an io.Closer, Close
+// closes it.
+func NewEventLog(w io.Writer) *EventLog {
+	l := &EventLog{bw: bufio.NewWriter(w), now: time.Now}
+	if c, ok := w.(io.Closer); ok {
+		l.c = c
+	}
+	return l
+}
+
+// Emit writes one event line. The reserved keys "event" and "t" are
+// set from the arguments; fields may be nil.
+func (l *EventLog) Emit(event string, fields map[string]any) error {
+	rec := make(map[string]any, len(fields)+2)
+	for k, v := range fields {
+		rec[k] = v
+	}
+	rec["event"] = event
+	rec["t"] = l.now().Format(time.RFC3339Nano)
+	b, err := json.Marshal(rec) // map keys marshal sorted: stable lines
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.bw.Write(b); err != nil {
+		return err
+	}
+	return l.bw.WriteByte('\n')
+}
+
+// Flush writes buffered lines through to the underlying writer.
+func (l *EventLog) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bw.Flush()
+}
+
+// Close flushes and closes the underlying writer when it is closable.
+func (l *EventLog) Close() error {
+	if err := l.Flush(); err != nil {
+		return err
+	}
+	if l.c != nil {
+		return l.c.Close()
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"bufio"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every metric in the Prometheus text
+// exposition format (version 0.0.4): one `# TYPE` line per metric
+// family followed by its series in sorted order. Histograms emit
+// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	type series struct {
+		name  string
+		value string
+	}
+	families := map[string][]series{} // base name -> series
+	kinds := map[string]string{}      // base name -> prometheus type
+	add := func(name, value, kind string) {
+		base, _ := SplitName(name)
+		families[base] = append(families[base], series{name, value})
+		kinds[base] = kind
+	}
+	for name, c := range r.counters {
+		add(name, strconv.FormatInt(c.Value(), 10), "counter")
+	}
+	for name, c := range r.floats {
+		add(name, formatFloat(c.Value()), "counter")
+	}
+	for name, g := range r.gauges {
+		add(name, formatFloat(g.Value()), "gauge")
+	}
+	for name, h := range r.hists {
+		base, _ := SplitName(name)
+		kinds[base] = "histogram"
+		bounds, counts := h.Buckets()
+		var cum int64
+		for i, c := range counts {
+			cum += c
+			le := "+Inf"
+			if i < len(bounds) {
+				le = formatFloat(bounds[i])
+			}
+			families[base] = append(families[base], series{
+				Label(bucketName(name), "le", le),
+				strconv.FormatInt(cum, 10),
+			})
+		}
+		families[base] = append(families[base],
+			series{suffixName(name, "_sum"), formatFloat(h.Sum())},
+			series{suffixName(name, "_count"), strconv.FormatInt(h.Count(), 10)},
+		)
+	}
+	r.mu.RUnlock()
+
+	bases := make([]string, 0, len(families))
+	for b := range families {
+		bases = append(bases, b)
+	}
+	sort.Strings(bases)
+
+	bw := bufio.NewWriter(w)
+	for _, base := range bases {
+		if _, err := fmt.Fprintf(bw, "# TYPE %s %s\n", base, kinds[base]); err != nil {
+			return err
+		}
+		ss := families[base]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].name < ss[j].name })
+		for _, s := range ss {
+			if _, err := fmt.Fprintf(bw, "%s %s\n", s.name, s.value); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// bucketName inserts the _bucket suffix before any label block.
+func bucketName(name string) string { return suffixName(name, "_bucket") }
+
+func suffixName(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// Server is a running metrics listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP listener on addr (":0" picks a free port)
+// exposing:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/metrics.json  JSON snapshot (the obs.Snapshot format)
+//	/debug/vars    expvar (Go runtime memstats, cmdline)
+//	/debug/pprof/  pprof profiles (CPU, heap, goroutine, trace, ...)
+//
+// The server runs until Close. Use Addr to discover the bound
+// address when addr was ":0".
+func Serve(addr string, r *Registry) (*Server, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.Snapshot().WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener.
+func (s *Server) Close() error { return s.srv.Close() }

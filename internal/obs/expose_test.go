@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Label("gspmv_calls_total", "m", "16")).Add(3)
+	r.Counter(Label("gspmv_calls_total", "m", "1")).Add(7)
+	r.FloatCounter("phase_seconds").Add(1.5)
+	r.Gauge("bandwidth_bytes").Set(2e9)
+	h := r.Histogram("residual", []float64{1e-6, 1e-3})
+	h.Observe(1e-7)
+	h.Observe(1e-4)
+	h.Observe(5.0)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE gspmv_calls_total counter",
+		`gspmv_calls_total{m="1"} 7`,
+		`gspmv_calls_total{m="16"} 3`,
+		"# TYPE phase_seconds counter",
+		"phase_seconds 1.5",
+		"# TYPE bandwidth_bytes gauge",
+		"bandwidth_bytes 2e+09",
+		"# TYPE residual histogram",
+		`residual_bucket{le="1e-06"} 1`,
+		`residual_bucket{le="0.001"} 2`,
+		`residual_bucket{le="+Inf"} 3`,
+		"residual_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+
+	// TYPE lines must precede their family's series, families sorted.
+	sc := bufio.NewScanner(strings.NewReader(out))
+	var families []string
+	lastType := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "# TYPE ") {
+			lastType = strings.Fields(line)[2]
+			families = append(families, lastType)
+			continue
+		}
+		name := line[:strings.IndexAny(line, "{ ")]
+		if !strings.HasPrefix(name, lastType) {
+			t.Fatalf("series %q not under its TYPE header %q", line, lastType)
+		}
+	}
+	if !sort.StringsAreSorted(families) {
+		t.Fatalf("families not sorted: %v", families)
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total").Add(5)
+	s, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", s.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/metrics")
+	if !strings.Contains(body, "served_total 5") {
+		t.Fatalf("/metrics body:\n%s", body)
+	}
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+
+	body, _ = get("/metrics.json")
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json not a snapshot: %v", err)
+	}
+	if snap.Counters["served_total"] != 5 {
+		t.Fatalf("/metrics.json counters = %v", snap.Counters)
+	}
+
+	body, _ = get("/debug/vars")
+	if !strings.Contains(body, "memstats") {
+		t.Fatal("/debug/vars missing memstats")
+	}
+
+	body, _ = get("/debug/pprof/")
+	if !strings.Contains(body, "goroutine") {
+		t.Fatal("/debug/pprof/ missing profile index")
+	}
+}
+
+func TestEventLogJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(&buf)
+	l.now = func() time.Time { return time.Date(2026, 8, 5, 0, 0, 0, 0, time.UTC) }
+	if err := l.Emit("step", map[string]any{"step": 3, "first_iters": 42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Emit("chunk", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["event"] != "step" || rec["step"] != float64(3) || rec["first_iters"] != float64(42) {
+		t.Fatalf("record = %v", rec)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, rec["t"].(string)); err != nil {
+		t.Fatalf("timestamp: %v", err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["event"] != "chunk" {
+		t.Fatalf("second record = %v", rec)
+	}
+}

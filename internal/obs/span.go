@@ -1,0 +1,53 @@
+package obs
+
+import "time"
+
+// Span is a started phase timer. End records the elapsed wall time
+// into the registry's phase metrics. Spans nest by StartChild, which
+// joins names with "/" so a child's full path identifies its place in
+// the phase tree ("step/first_solve").
+//
+// A span belongs to the goroutine that started it; spans are not safe
+// for concurrent use (the registry they record into is).
+type Span struct {
+	reg   *Registry
+	name  string
+	start time.Time
+	ended bool
+}
+
+// StartSpan begins timing a phase.
+func (r *Registry) StartSpan(name string) *Span {
+	return &Span{reg: r, name: name, start: time.Now()}
+}
+
+// Name returns the span's full phase path.
+func (s *Span) Name() string { return s.name }
+
+// StartChild begins a nested phase named parent/name. The child may
+// outlive the parent's End; only its own interval is recorded.
+func (s *Span) StartChild(name string) *Span {
+	return &Span{reg: s.reg, name: s.name + "/" + name, start: time.Now()}
+}
+
+// End stops the span and records its duration under
+// phase_seconds_total{phase="<path>"} and
+// phase_calls_total{phase="<path>"}. Calling End more than once
+// records only the first interval; later calls return zero.
+func (s *Span) End() time.Duration {
+	if s.ended {
+		return 0
+	}
+	s.ended = true
+	d := time.Since(s.start)
+	s.reg.ObservePhase(s.name, d)
+	return d
+}
+
+// ObservePhase records an externally measured duration under the
+// phase metrics — the non-span entry point used by code that already
+// times its phases (core.Runner's Timings).
+func (r *Registry) ObservePhase(phase string, d time.Duration) {
+	r.FloatCounter(Label("phase_seconds_total", "phase", phase)).Add(d.Seconds())
+	r.Counter(Label("phase_calls_total", "phase", phase)).Inc()
+}

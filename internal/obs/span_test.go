@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpanRecordsPhaseMetrics(t *testing.T) {
+	r := NewRegistry()
+	sp := r.StartSpan("solve")
+	time.Sleep(2 * time.Millisecond)
+	d := sp.End()
+	if d <= 0 {
+		t.Fatal("End returned non-positive duration")
+	}
+	secs := r.FloatCounter(Label("phase_seconds_total", "phase", "solve")).Value()
+	if secs <= 0 {
+		t.Fatalf("phase seconds = %g", secs)
+	}
+	calls := r.Counter(Label("phase_calls_total", "phase", "solve")).Value()
+	if calls != 1 {
+		t.Fatalf("phase calls = %d", calls)
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	r := NewRegistry()
+	step := r.StartSpan("step")
+	first := step.StartChild("first_solve")
+	if first.Name() != "step/first_solve" {
+		t.Fatalf("child name = %q", first.Name())
+	}
+	inner := first.StartChild("gspmv")
+	if inner.Name() != "step/first_solve/gspmv" {
+		t.Fatalf("grandchild name = %q", inner.Name())
+	}
+	inner.End()
+	first.End()
+	step.End()
+	for _, phase := range []string{"step", "step/first_solve", "step/first_solve/gspmv"} {
+		if r.Counter(Label("phase_calls_total", "phase", phase)).Value() != 1 {
+			t.Fatalf("phase %q not recorded", phase)
+		}
+	}
+	// Child seconds must not exceed the enclosing span's.
+	outer := r.FloatCounter(Label("phase_seconds_total", "phase", "step")).Value()
+	child := r.FloatCounter(Label("phase_seconds_total", "phase", "step/first_solve")).Value()
+	if child > outer {
+		t.Fatalf("child (%g s) exceeds parent (%g s)", child, outer)
+	}
+}
+
+func TestSpanDoubleEnd(t *testing.T) {
+	r := NewRegistry()
+	sp := r.StartSpan("p")
+	sp.End()
+	if d := sp.End(); d != 0 {
+		t.Fatalf("second End returned %v", d)
+	}
+	if r.Counter(Label("phase_calls_total", "phase", "p")).Value() != 1 {
+		t.Fatal("double End double-counted")
+	}
+}
+
+func TestObservePhase(t *testing.T) {
+	r := NewRegistry()
+	r.ObservePhase("construct", 250*time.Millisecond)
+	r.ObservePhase("construct", 750*time.Millisecond)
+	secs := r.FloatCounter(Label("phase_seconds_total", "phase", "construct")).Value()
+	if secs < 0.999 || secs > 1.001 {
+		t.Fatalf("phase seconds = %g, want 1", secs)
+	}
+	if r.Counter(Label("phase_calls_total", "phase", "construct")).Value() != 2 {
+		t.Fatal("phase calls wrong")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/bcrs"
 	"repro/internal/model"
 	"repro/internal/multivec"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -186,12 +187,17 @@ func MeasureRates(a *bcrs.Matrix, m int, k float64) Rates {
 }
 
 // CalibratedMachine measures this host's (B, F) pair for use in the
-// analytic model. It takes a few hundred milliseconds.
+// analytic model. It takes a few hundred milliseconds. The measured
+// rates are published as gauges so snapshots record the calibration
+// the run's model predictions were based on.
 func CalibratedMachine() model.Machine {
-	return model.Machine{
+	mc := model.Machine{
 		B: MeasureBandwidth(DefaultTriadN, 3),
 		F: MeasureKernelFlops(nil),
 	}
+	obs.Default.Gauge("perf_measured_bandwidth_bytes_per_second").Set(mc.B)
+	obs.Default.Gauge("perf_basic_kernel_flops_per_second").Set(mc.F)
+	return mc
 }
 
 // EffectiveMachine measures the *achievable* (B, F) pair for a
@@ -209,5 +215,8 @@ func CalibratedMachine() model.Machine {
 func EffectiveMachine(a *bcrs.Matrix, k float64) model.Machine {
 	r1 := MeasureRates(a, 1, k)
 	r16 := MeasureRates(a, 16, k)
-	return model.Machine{B: r1.GBps * 1e9, F: r16.Gflops * 1e9}
+	mc := model.Machine{B: r1.GBps * 1e9, F: r16.Gflops * 1e9}
+	obs.Default.Gauge("perf_effective_bandwidth_bytes_per_second").Set(mc.B)
+	obs.Default.Gauge("perf_effective_kernel_flops_per_second").Set(mc.F)
+	return mc
 }

@@ -30,7 +30,7 @@ type BlockStats struct {
 // linearly dependent — the classic block-CG breakdown) is regularized
 // with a small diagonal ridge; if it remains singular the solve
 // returns with the current iterate and per-column convergence flags.
-func BlockCG(a BlockOperator, x, b *multivec.MultiVec, opt Options) BlockStats {
+func BlockCG(a BlockOperator, x, b *multivec.MultiVec, opt Options) (stats BlockStats) {
 	n := a.N()
 	if x.N != n || b.N != n || x.M != b.M {
 		panic("solver: BlockCG dimension mismatch")
@@ -38,10 +38,19 @@ func BlockCG(a BlockOperator, x, b *multivec.MultiVec, opt Options) BlockStats {
 	m := x.M
 	opt = opt.withDefaults(n)
 
-	stats := BlockStats{
+	stats = BlockStats{
 		ColumnConverged: make([]bool, m),
 		ColumnResiduals: make([]float64, m),
 	}
+	// On return, mirror the per-column final residuals into
+	// Stats.Residuals so block solves feed the same residual
+	// reporting as single-vector CG, and record the obs metrics.
+	// stats is a named result, so these deferred writes reach the
+	// caller.
+	defer func() {
+		stats.Residuals = append(stats.Residuals[:0], stats.ColumnResiduals...)
+		recordBlockCG(&stats)
+	}()
 
 	// R = B - A*X.
 	r := multivec.New(n, m)

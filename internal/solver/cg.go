@@ -29,7 +29,9 @@ type Stats struct {
 	// (max over columns for block solves).
 	Residual float64
 	// Residuals holds the relative residual after each iteration
-	// when Options.TrackResiduals is set (convergence curves).
+	// when Options.TrackResiduals is set (convergence curves). Block
+	// solves instead store one entry per right-hand side: the final
+	// relative residual of each column.
 	Residuals []float64
 }
 
@@ -78,6 +80,7 @@ func CG(a Operator, x, b []float64, opt Options) Stats {
 	a.MulVec(r, x)
 	blas.Sub(r, b, r)
 	stats := Stats{MatMuls: 1}
+	defer func() { recordCG(&stats) }()
 
 	bnorm := blas.Nrm2(b)
 	if bnorm == 0 {

@@ -53,6 +53,7 @@ func (c *CholeskyFactor) Refine(aNew Operator, x, b []float64, opt Options) Stat
 	r := make([]float64, n)
 	d := make([]float64, n)
 	stats := Stats{}
+	defer func() { recordRefine(&stats) }()
 	bnorm := blas.Nrm2(b)
 	if bnorm == 0 {
 		blas.Fill(x, 0)

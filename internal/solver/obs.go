@@ -1,0 +1,61 @@
+package solver
+
+import "repro/internal/obs"
+
+// Solver observability: every solve reports its iteration count,
+// matrix-multiply count, convergence outcome, and final relative
+// residual into obs.Default. The residual histograms are the data
+// behind convergence summaries; the block-CG one receives one
+// observation per right-hand side, so the MRHS path is covered at the
+// same granularity as single-vector CG (see BlockCG).
+var (
+	cgSolves   = obs.Default.Counter("solver_cg_solves_total")
+	cgIters    = obs.Default.Counter("solver_cg_iterations_total")
+	cgMatMuls  = obs.Default.Counter("solver_cg_matmuls_total")
+	cgFailures = obs.Default.Counter("solver_cg_nonconverged_total")
+	cgResidual = obs.Default.Histogram("solver_cg_final_residual", obs.ResidualBuckets)
+
+	blockSolves   = obs.Default.Counter("solver_blockcg_solves_total")
+	blockIters    = obs.Default.Counter("solver_blockcg_iterations_total")
+	blockMatMuls  = obs.Default.Counter("solver_blockcg_matmuls_total")
+	blockRHS      = obs.Default.Counter("solver_blockcg_rhs_total")
+	blockFailures = obs.Default.Counter("solver_blockcg_nonconverged_total")
+	blockResidual = obs.Default.Histogram("solver_blockcg_final_residual", obs.ResidualBuckets)
+
+	refineSolves   = obs.Default.Counter("solver_refine_solves_total")
+	refineIters    = obs.Default.Counter("solver_refine_iterations_total")
+	refineFailures = obs.Default.Counter("solver_refine_nonconverged_total")
+	refineResidual = obs.Default.Histogram("solver_refine_final_residual", obs.ResidualBuckets)
+)
+
+func recordCG(st *Stats) {
+	cgSolves.Inc()
+	cgIters.Add(int64(st.Iterations))
+	cgMatMuls.Add(int64(st.MatMuls))
+	cgResidual.Observe(st.Residual)
+	if !st.Converged {
+		cgFailures.Inc()
+	}
+}
+
+func recordBlockCG(st *BlockStats) {
+	blockSolves.Inc()
+	blockIters.Add(int64(st.Iterations))
+	blockMatMuls.Add(int64(st.MatMuls))
+	blockRHS.Add(int64(len(st.ColumnResiduals)))
+	for _, r := range st.ColumnResiduals {
+		blockResidual.Observe(r)
+	}
+	if !st.Converged {
+		blockFailures.Inc()
+	}
+}
+
+func recordRefine(st *Stats) {
+	refineSolves.Inc()
+	refineIters.Add(int64(st.Iterations))
+	refineResidual.Observe(st.Residual)
+	if !st.Converged {
+		refineFailures.Inc()
+	}
+}

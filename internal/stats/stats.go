@@ -16,8 +16,13 @@ import (
 
 	"repro/internal/blas"
 	"repro/internal/neighbor"
+	"repro/internal/obs"
 	"repro/internal/particles"
 )
+
+// msdDropped counts velocity samples discarded by MSD.Observe because
+// their length did not match the tracked particle count.
+var msdDropped = obs.Default.Counter("stats_msd_length_mismatch_total")
 
 // MSD accumulates unwrapped per-particle displacements and the
 // resulting mean-squared displacement curve.
@@ -27,6 +32,9 @@ type MSD struct {
 	disp []float64 // 3n accumulated displacement
 	// Curve[k] is the MSD after k+1 steps.
 	Curve []float64
+	// Dropped counts observations discarded because the velocity
+	// slice length did not match the tracked particle count.
+	Dropped int
 }
 
 // NewMSD tracks n particles stepped with time step dt.
@@ -34,10 +42,16 @@ func NewMSD(n int, dt float64) *MSD {
 	return &MSD{n: n, dt: dt, disp: make([]float64, 3*n)}
 }
 
-// Observe is shaped for core.Runner's OnStep hook.
+// Observe is shaped for core.Runner's OnStep hook. A velocity slice
+// of the wrong length is dropped (counted in Dropped and the
+// stats_msd_length_mismatch_total metric) rather than panicking: an
+// observer wired to the wrong system size should not take down a
+// long simulation mid-run.
 func (m *MSD) Observe(step int, u []float64, dt float64) {
 	if len(u) != len(m.disp) {
-		panic("stats: MSD velocity length mismatch")
+		m.Dropped++
+		msdDropped.Inc()
+		return
 	}
 	for i := range m.disp {
 		m.disp[i] += dt * u[i]

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/particles"
 	"repro/internal/rng"
 )
@@ -153,5 +154,30 @@ func TestMultiFansOut(t *testing.T) {
 	obs(1, nil, 1)
 	if a != 2 || b != 2 {
 		t.Fatalf("Multi fan-out wrong: %d %d", a, b)
+	}
+}
+
+func TestMSDLengthMismatchDropped(t *testing.T) {
+	n, dt := 4, 0.5
+	m := NewMSD(n, dt)
+	u := make([]float64, 3*n)
+	for i := range u {
+		u[i] = 1
+	}
+	m.Observe(0, u, dt)
+	before := obs.Default.Counter("stats_msd_length_mismatch_total").Value()
+	m.Observe(1, u[:3*n-3], dt) // wrong length: dropped, not a panic
+	if m.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", m.Dropped)
+	}
+	if got := obs.Default.Counter("stats_msd_length_mismatch_total").Value(); got != before+1 {
+		t.Fatalf("mismatch counter = %d, want %d", got, before+1)
+	}
+	if m.Steps() != 1 {
+		t.Fatalf("Steps = %d, want 1 (bad sample must not extend the curve)", m.Steps())
+	}
+	m.Observe(2, u, dt) // recovery: correct samples still accumulate
+	if m.Steps() != 2 {
+		t.Fatalf("Steps = %d after recovery, want 2", m.Steps())
 	}
 }
