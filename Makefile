@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-snapshot
+.PHONY: ci vet build test race chaos bench bench-snapshot
 
-# ci is the gate: vet, build everything, then the full test suite
-# under the race detector (the obs hot paths are lock-free; -race is
-# what validates them).
-ci: vet build race
+# ci is the gate: vet, build everything, the full test suite under
+# the race detector (the obs hot paths are lock-free; -race is what
+# validates them), and the seeded fault-injection suite.
+ci: vet build race chaos
 
 vet:
 	$(GO) vet ./...
@@ -18,6 +18,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# chaos runs the fault-injection and recovery tests — seeded chaos
+# runs must reproduce clean-run trajectories bitwise — under -race,
+# since the faulty transport is the most concurrent code in the tree.
+chaos:
+	$(GO) test -race -run 'Chaos|Recovery|Fault|Fallback|Backoff' ./internal/cluster/... ./internal/core/ ./internal/sd/ ./internal/solver/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/cluster/faults"
 	"repro/internal/experiments"
 	"repro/internal/multivec"
 	"repro/internal/obs"
@@ -37,6 +38,9 @@ func main() {
 		overlap = flag.Bool("overlap", true, "model communication/computation overlap")
 		solve   = flag.Bool("solve", false, "also run a distributed block-CG solve (the MRHS augmented system) on the largest node count")
 		detail  = flag.Bool("detail", false, "print per-node load/communication detail for the largest node count")
+
+		faultsSpec = flag.String("faults", "", "arm the largest node count with this fault plan (see internal/cluster/faults)")
+		chaosRun   = flag.Bool("chaos", false, "arm the largest node count with the chaos preset plan (unless -faults overrides it)")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address (e.g. :9090 or :0)")
 		obsJSON     = flag.String("obs-json", "", "write an obs metrics snapshot (JSON) to this file after the run")
@@ -78,6 +82,26 @@ func main() {
 			fail(err)
 		}
 		clusters[p] = cl
+	}
+
+	// Fault injection targets the largest node count: that is the
+	// cluster the -verify and -solve paths exercise, so every drop,
+	// duplicate, corruption, and crash flows through the retrying
+	// transport those paths depend on.
+	spec := *faultsSpec
+	if *chaosRun && spec == "" {
+		spec = faults.ChaosSpec
+	}
+	var inj *faults.Injector
+	if spec != "" {
+		plan, err := faults.Parse(spec)
+		if err != nil {
+			fail(err)
+		}
+		inj = plan.NewInjector(*seed)
+		pMax := nodes[len(nodes)-1]
+		clusters[pMax].SetFaults(inj, cluster.Backoff{Seed: *seed})
+		fmt.Printf("faults: plan %q armed on the p=%d cluster\n", plan, pMax)
 	}
 	for _, m := range ms {
 		fmt.Printf("%-5d", m)
@@ -122,7 +146,19 @@ func main() {
 		rng.New(*seed + 1).FillNormal(b.Data)
 		x := multivec.New(a.N(), m)
 		t0 := time.Now()
-		st := solver.BlockCG(clusters[p], x, b, solver.Options{Tol: 1e-8})
+		var st solver.BlockStats
+		for attempt := 0; ; attempt++ {
+			var ferr error
+			st, ferr = guardedBlockCG(clusters[p], x, b, solver.Options{Tol: 1e-8})
+			if ferr == nil {
+				break
+			}
+			if attempt >= 3 {
+				fail(fmt.Errorf("distributed solve failed after %d replays: %w", attempt, ferr))
+			}
+			fmt.Printf("distributed solve hit a fault (%v); replaying\n", ferr)
+			x.Zero()
+		}
 		fmt.Printf("\ndistributed block CG (p=%d, m=%d): converged=%v in %d iterations (%d distributed GSPMVs, %v)\n",
 			p, m, st.Converged, st.Iterations, st.MatMuls, time.Since(t0).Round(time.Millisecond))
 		ref := multivec.New(a.N(), m)
@@ -142,7 +178,16 @@ func main() {
 		x := multivec.New(a.N(), m)
 		rng.New(*seed).FillNormal(x.Data)
 		yd := multivec.New(a.N(), m)
-		clusters[p].Mul(yd, x)
+		for attempt := 0; ; attempt++ {
+			err := clusters[p].TryMul(yd, x)
+			if err == nil {
+				break
+			}
+			if attempt >= 3 {
+				fail(fmt.Errorf("functional check failed after %d replays: %w", attempt, err))
+			}
+			fmt.Printf("functional check hit a fault (%v); replaying\n", err)
+		}
 		ys := multivec.New(a.N(), m)
 		a.Mul(ys, x)
 		var worst float64
@@ -164,12 +209,42 @@ func main() {
 			float64(snap.Counters["cluster_payload_bytes_total"])/(1<<20),
 			snap.Counters["cluster_halo_block_rows_total"])
 	}
+	if inj != nil {
+		fmt.Printf("faults injected: %d total (", inj.InjectedTotal())
+		first := true
+		for k := faults.Drop; k <= faults.Crash; k++ {
+			if v := inj.Injected(k); v > 0 {
+				if !first {
+					fmt.Printf(" ")
+				}
+				fmt.Printf("%s=%d", k, v)
+				first = false
+			}
+		}
+		fmt.Println(")")
+	}
 	if *obsJSON != "" {
 		if err := snap.SaveFile(*obsJSON); err != nil {
 			fail(err)
 		}
 		fmt.Printf("obs snapshot written to %s\n", *obsJSON)
 	}
+}
+
+// guardedBlockCG runs a distributed block solve, converting the fault
+// panic of a crashed or partitioned cluster back into an error so the
+// bench can replay instead of dying.
+func guardedBlockCG(op solver.BlockOperator, x, b *multivec.MultiVec, opt solver.Options) (st solver.BlockStats, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if e, ok := p.(error); ok && faults.IsFault(e) {
+				err = e
+				return
+			}
+			panic(p)
+		}
+	}()
+	return solver.BlockCGWithFallback(op, x, b, opt), nil
 }
 
 func mustInts(s string) []int {

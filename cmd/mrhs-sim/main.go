@@ -8,6 +8,15 @@
 //	mrhs-sim -n 3000 -phi 0.5 -alg mrhs -m 16 -steps 32
 //	mrhs-sim -n 3000 -phi 0.5 -alg original -steps 32
 //	mrhs-sim -n 200 -phi 0.3 -alg cholesky -steps 16
+//
+// With -chaos (or a custom -faults spec) the run executes on a
+// simulated cluster under an injected fault plan — dropped, delayed,
+// duplicated, and corrupted halo messages, a slow node, and a node
+// crash recovered from a checkpoint — and must reproduce the
+// fault-free trajectory checksum of the same -seed and -nodes:
+//
+//	mrhs-sim -n 300 -phi 0.3 -steps 8 -chaos -seed 1
+//	mrhs-sim -n 300 -phi 0.3 -steps 8 -nodes 4 -seed 1   # clean reference
 package main
 
 import (
@@ -17,6 +26,8 @@ import (
 
 	"repro/internal/bcrs"
 	"repro/internal/checkpoint"
+	"repro/internal/cluster"
+	"repro/internal/cluster/faults"
 	"repro/internal/core"
 	"repro/internal/hydro"
 	"repro/internal/obs"
@@ -42,6 +53,11 @@ func main() {
 		resume  = flag.String("resume", "", "resume from a checkpoint file (overrides -n, -phi, -seed)")
 		xyz     = flag.String("xyz", "", "write an XYZ trajectory (one frame per step) to this file")
 		precond = flag.String("precond", "none", "first-solve preconditioning: none, ic0 (adaptive reuse), jacobi")
+
+		nodes       = flag.Int("nodes", 0, "run every multiply on a simulated p-node cluster (0: single node; fault runs default to 4)")
+		faultsSpec  = flag.String("faults", "", "fault-injection spec, e.g. 'drop:rate=0.02;crash:node=1,at=5' (see internal/cluster/faults)")
+		chaosRun    = flag.Bool("chaos", false, "run under the chaos preset fault plan (unless -faults overrides it)")
+		recoverCkpt = flag.String("recover-ckpt", "", "recovery checkpoint path for fault runs (default: a temp file)")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address (e.g. :9090 or :0)")
 		obsJSON     = flag.String("obs-json", "", "write an obs metrics snapshot (JSON) to this file after the run")
@@ -104,6 +120,43 @@ func main() {
 	}
 	hopt := hydro.Options{Phi: *phi}
 
+	// Fault injection: -chaos selects the preset plan, -faults any
+	// custom spec. Fault runs are distributed (they sabotage halo
+	// messages) and armed with checkpoint-based crash recovery.
+	spec := *faultsSpec
+	if *chaosRun && spec == "" {
+		spec = faults.ChaosSpec
+	}
+	var inj *faults.Injector
+	if spec != "" {
+		if *alg == "cholesky" {
+			fail(fmt.Errorf("-faults/-chaos require -alg mrhs or original (cholesky has no distributed transport)"))
+		}
+		plan, err := faults.Parse(spec)
+		if err != nil {
+			fail(err)
+		}
+		inj = plan.NewInjector(*seed)
+		if *nodes == 0 {
+			*nodes = 4
+		}
+		path := *recoverCkpt
+		if path == "" {
+			f, err := os.CreateTemp("", "mrhs-recover-*.ckpt")
+			if err != nil {
+				fail(err)
+			}
+			path = f.Name()
+			f.Close()
+			defer os.Remove(path)
+		}
+		cfg.Recovery = &core.Recovery{
+			MaxRetries:  5,
+			Snapshotter: sd.FileSnapshotter(path, hopt, 1, *seed),
+		}
+		fmt.Printf("faults: plan %q armed on %d nodes (recovery checkpoint %s)\n", plan, *nodes, path)
+	}
+
 	switch *alg {
 	case "cholesky":
 		r := sd.NewCholeskyRunner(sd.NewConf(sys, hopt, *threads), cfg)
@@ -114,7 +167,14 @@ func main() {
 			r.Steps, r.FactorTime.Seconds(), r.ForceTime.Seconds(),
 			r.SolveTime.Seconds(), r.RefineTime.Seconds(), r.RefineIters)
 	case "mrhs", "original":
-		sim := sd.New(sys, hopt, cfg, *threads)
+		var sim *sd.Simulation
+		if *nodes > 0 {
+			sim = sd.NewDistributedOpts(sys, hopt, cfg, sd.DistOptions{
+				P: *nodes, Faults: inj, Retry: cluster.Backoff{Seed: *seed},
+			})
+		} else {
+			sim = sd.New(sys, hopt, cfg, *threads)
+		}
 		sim.SkipTo(startStep)
 		if *events != "" {
 			f, err := os.Create(*events)
@@ -124,6 +184,9 @@ func main() {
 			el := obs.NewEventLog(f)
 			defer el.Close()
 			sim.Events = el
+			if inj != nil {
+				inj.Events = el
+			}
 		}
 		if *xyz != "" {
 			f, err := os.Create(*xyz)
@@ -160,6 +223,14 @@ func main() {
 		}
 		fmt.Printf("\nmean iterations: first solve %.1f, second solve %.1f\n",
 			rep.MeanFirstIters, rep.MeanSecondIters)
+		// The checksum hashes the exact position bits: two runs agree
+		// iff their trajectories are bitwise identical, which is how
+		// chaos runs are validated against fault-free ones (use the
+		// same -seed and -nodes).
+		fmt.Printf("trajectory checksum: %016x\n", sim.System().Checksum())
+		if inj != nil {
+			reportFaults(inj)
+		}
 		if *ckpt != "" {
 			st := checkpoint.FromSystem(sim.System(), sim.StepIndex(), *seed)
 			if err := checkpoint.SaveFile(*ckpt, st); err != nil {
@@ -197,6 +268,34 @@ func main() {
 	if failures > 0 {
 		fail(fmt.Errorf("%d solver non-convergence event(s) recorded", failures))
 	}
+}
+
+// reportFaults prints the chaos ledger: what the plan injected, what
+// the transport detected, and how often recovery replayed.
+func reportFaults(inj *faults.Injector) {
+	fmt.Printf("\nfault ledger:\n  injected:")
+	for k := faults.Drop; k <= faults.Crash; k++ {
+		if v := inj.Injected(k); v > 0 {
+			fmt.Printf(" %s=%d", k, v)
+		}
+	}
+	if inj.InjectedTotal() == 0 {
+		fmt.Printf(" none")
+	}
+	fmt.Println()
+	snap := obs.Default.Snapshot()
+	var detected, recovered int64
+	for name, v := range snap.Counters {
+		switch base, _ := obs.SplitName(name); base {
+		case "cluster_halo_retries_total", "cluster_halo_timeouts_total",
+			"cluster_corrupt_rejected_total", "cluster_dup_discarded_total",
+			"cluster_node_crashes_total", "cluster_halo_lost_total":
+			detected += v
+		case "core_fault_recoveries_total":
+			recovered += v
+		}
+	}
+	fmt.Printf("  detected by transport: %d events\n  recoveries (checkpoint replays): %d\n", detected, recovered)
 }
 
 func fail(err error) {

@@ -1,8 +1,3 @@
-// Package checkpoint saves and restores simulation state. Because
-// the noise of step k is a pure function of (seed, k) — see
-// internal/rng — a restored run reproduces the interrupted trajectory
-// exactly: checkpoint/resume is bitwise transparent, which the tests
-// verify end-to-end.
 package checkpoint
 
 import (

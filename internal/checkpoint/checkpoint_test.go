@@ -1,10 +1,11 @@
-package checkpoint
+package checkpoint_test
 
 import (
 	"bytes"
 	"path/filepath"
 	"testing"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/hydro"
 	"repro/internal/particles"
@@ -16,12 +17,12 @@ func TestRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := FromSystem(sys, 7, 42)
+	st := checkpoint.FromSystem(sys, 7, 42)
 	var buf bytes.Buffer
-	if err := Save(&buf, st); err != nil {
+	if err := checkpoint.Save(&buf, st); err != nil {
 		t.Fatal(err)
 	}
-	back, err := Load(&buf)
+	back, err := checkpoint.Load(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestSnapshotIsDeepCopy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := FromSystem(sys, 0, 1)
+	st := checkpoint.FromSystem(sys, 0, 1)
 	sys.Pos[0][0] += 99
 	if st.Pos[0][0] == sys.Pos[0][0] {
 		t.Fatal("snapshot aliases the live system")
@@ -57,18 +58,18 @@ func TestSnapshotIsDeepCopy(t *testing.T) {
 }
 
 func TestLoadRejectsGarbage(t *testing.T) {
-	if _, err := Load(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+	if _, err := checkpoint.Load(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
 		t.Fatal("expected decode error")
 	}
 }
 
 func TestLoadRejectsWrongVersion(t *testing.T) {
-	st := &State{Version: 99, Pos: nil, Radius: nil}
+	st := &checkpoint.State{Version: 99, Pos: nil, Radius: nil}
 	var buf bytes.Buffer
-	if err := Save(&buf, st); err != nil {
+	if err := checkpoint.Save(&buf, st); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Load(&buf); err == nil {
+	if _, err := checkpoint.Load(&buf); err == nil {
 		t.Fatal("expected version error")
 	}
 }
@@ -80,10 +81,10 @@ func TestSaveFileAtomic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := SaveFile(path, FromSystem(sys, 3, 9)); err != nil {
+	if err := checkpoint.SaveFile(path, checkpoint.FromSystem(sys, 3, 9)); err != nil {
 		t.Fatal(err)
 	}
-	back, err := LoadFile(path)
+	back, err := checkpoint.LoadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,10 +92,10 @@ func TestSaveFileAtomic(t *testing.T) {
 		t.Fatal("file round trip lost data")
 	}
 	// Overwrite works too.
-	if err := SaveFile(path, FromSystem(sys, 4, 9)); err != nil {
+	if err := checkpoint.SaveFile(path, checkpoint.FromSystem(sys, 4, 9)); err != nil {
 		t.Fatal(err)
 	}
-	back, err = LoadFile(path)
+	back, err = checkpoint.LoadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,12 +135,12 @@ func TestResumeReproducesTrajectory(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := Save(&buf, FromSystem(first.System(), first.StepIndex(), seed)); err != nil {
+	if err := checkpoint.Save(&buf, checkpoint.FromSystem(first.System(), first.StepIndex(), seed)); err != nil {
 		t.Fatal(err)
 	}
 
 	// "New process": restore and continue.
-	st, err := Load(&buf)
+	st, err := checkpoint.Load(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,13 +169,13 @@ func TestSaveFileBadDirectory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := SaveFile("/nonexistent-dir-xyz/run.ckpt", FromSystem(sys, 0, 1)); err == nil {
+	if err := checkpoint.SaveFile("/nonexistent-dir-xyz/run.ckpt", checkpoint.FromSystem(sys, 0, 1)); err == nil {
 		t.Fatal("expected error for unwritable directory")
 	}
 }
 
 func TestLoadFileMissing(t *testing.T) {
-	if _, err := LoadFile("/nonexistent-dir-xyz/missing.ckpt"); err == nil {
+	if _, err := checkpoint.LoadFile("/nonexistent-dir-xyz/missing.ckpt"); err == nil {
 		t.Fatal("expected error for missing file")
 	}
 }

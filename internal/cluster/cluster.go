@@ -1,36 +1,14 @@
-// Package cluster implements distributed-memory GSPMV over a
-// simulated cluster, reproducing the multi-node experiments of
-// Section IV (Figures 3, 4 and Table III).
-//
-// The package has two layers. The functional layer actually executes
-// a partitioned multiply: each node is a goroutine holding a row strip
-// of the matrix, nodes exchange halo vector rows over channels, and
-// each overlaps its interior computation with communication exactly as
-// the paper's MPI implementation overlaps the local multiply with the
-// gather of remote elements. Results are checked against the serial
-// kernel, so the distributed algorithm is real, not a stub.
-//
-// The timing layer is a calibrated cost model standing in for the
-// paper's 64-node InfiniBand cluster, which is not available here. Per
-// node, compute time comes from the Section IV-B single-node model on
-// the node's local shape, and communication time is
-// latency*messages + volume/bandwidth with the paper's published
-// interconnect parameters (1.5 us one-way latency, 3380 MiB/s
-// unidirectional bandwidth). With overlap enabled, a node's time is
-// max(compute, comm), matching the nonblocking-MPI design of Section
-// IV-A2; the cluster time is the maximum over nodes. The figures this
-// reproduces are ratios (relative time r(m,p), communication
-// fractions), which depend only on these modeled ratios, not on
-// absolute host speed.
 package cluster
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bcrs"
 	"repro/internal/blas"
+	"repro/internal/cluster/faults"
 	"repro/internal/model"
 	"repro/internal/multivec"
 	"repro/internal/obs"
@@ -57,6 +35,14 @@ type Cluster struct {
 	part  []int
 	nodes []*node
 	stats partition.CommStats
+
+	// Fault-tolerance state (see SetFaults): a nil injector selects
+	// the lean healthy transport.
+	inj      *faults.Injector
+	retry    Backoff
+	mulSeq   atomic.Int64   // sequence number per distributed multiply
+	redSeq   atomic.Int64   // sequence number per reduction
+	nodeMuls []atomic.Int64 // per-node multiply counter (crash schedule)
 }
 
 // node holds one row strip and its communication plan.
@@ -202,6 +188,7 @@ func New(a *bcrs.Matrix, part []int, p int) (*Cluster, error) {
 		res.NNZPerPart[id] = int64(nd.nnzb())
 	}
 	c.stats = partition.Analyze(a, res)
+	c.nodeMuls = make([]atomic.Int64, p)
 	return c, nil
 }
 
@@ -243,7 +230,25 @@ func (c *Cluster) NodeShape(id int) model.Shape {
 // while the messages are in flight, then receives the halo and
 // applies the boundary strip — the computation/communication overlap
 // of Section IV-A2.
+//
+// Mul is the solver-facing BlockOperator surface and has no error
+// return; when the fault-tolerant transport (SetFaults) exhausts its
+// retry budget or a node crashes, Mul panics with the *faults.Error
+// so the failure unwinds to the core step boundary, where the
+// recovery machinery converts it back into an error and replays from
+// the last checkpoint. Callers that want the error directly (and no
+// panic) use TryMul.
 func (c *Cluster) Mul(y, x *multivec.MultiVec) {
+	if err := c.TryMul(y, x); err != nil {
+		panic(err)
+	}
+}
+
+// TryMul is Mul with the fault domain surfaced as an error: a node
+// crash or an undeliverable halo message returns a *faults.Error
+// (possibly joining several nodes' failures) instead of panicking.
+// On a healthy cluster (no SetFaults) it never fails.
+func (c *Cluster) TryMul(y, x *multivec.MultiVec) error {
 	if x.N != c.nbG*bcrs.BlockDim || y.N != x.N || y.M != x.M {
 		panic("cluster: Mul dimension mismatch")
 	}
@@ -253,6 +258,17 @@ func (c *Cluster) Mul(y, x *multivec.MultiVec) {
 	clusterBytes.Add(c.stats.VolumeBytes(m))
 	clusterHaloRows.Add(c.stats.RemoteBlockRows)
 
+	if c.inj != nil {
+		return c.mulFaulty(y, x)
+	}
+	c.mulHealthy(y, x)
+	return nil
+}
+
+// mulHealthy is the zero-overhead transport used when no fault
+// injector is armed: raw buffered channels, no packets, no checksums.
+func (c *Cluster) mulHealthy(y, x *multivec.MultiVec) {
+	m := x.M
 	// chans[src][dst] carries the packed halo payload.
 	chans := make([][]chan []float64, c.p)
 	for s := range chans {

@@ -1,0 +1,338 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/bcrs"
+	"repro/internal/blas"
+	"repro/internal/cluster/faults"
+	"repro/internal/multivec"
+	"repro/internal/obs"
+)
+
+// Detected-fault observability: the transport counts what it sees on
+// the wire — retransmissions, rejected checksums, discarded
+// duplicates, expired deadlines, and node crashes. Together with the
+// injector's faults_injected_total these form the two sides of the
+// chaos ledger (injected vs detected/handled).
+var (
+	haloRetries         = obs.Default.Counter("cluster_halo_retries_total")
+	haloTimeouts        = obs.Default.Counter("cluster_halo_timeouts_total")
+	haloCorruptRejected = obs.Default.Counter("cluster_corrupt_rejected_total")
+	haloDupDiscarded    = obs.Default.Counter("cluster_dup_discarded_total")
+	nodeCrashes         = obs.Default.Counter("cluster_node_crashes_total")
+	haloLost            = obs.Default.Counter("cluster_halo_lost_total")
+)
+
+// packet is one simulated wire message: a packed halo payload (or a
+// reduction partial) plus the integrity metadata the receiver
+// validates. A tombstone announces the sender crashed, letting
+// receivers fail fast instead of waiting out their deadline.
+type packet struct {
+	seq  int64
+	data []float64
+	crc  uint64
+	tomb bool
+}
+
+// checksum is FNV-1a over the float64 bit patterns; it is what lets a
+// receiver reject a corrupted payload and wait for the retransmit.
+func checksum(data []float64) uint64 {
+	h := uint64(1469598103934665603)
+	for _, v := range data {
+		b := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			h ^= (b >> s) & 0xFF
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// corruptCopy returns a copy of data with one bit flipped, keeping
+// the original intact for the retransmit.
+func corruptCopy(data []float64) []float64 {
+	bad := append([]float64(nil), data...)
+	if len(bad) > 0 {
+		bad[0] = math.Float64frombits(math.Float64bits(bad[0]) ^ 1<<17)
+	}
+	return bad
+}
+
+// SetFaults arms the cluster's transport with a fault injector and a
+// retry policy. With a nil injector the multiply keeps its lean
+// healthy path; with one armed, every halo message flows through the
+// checksummed retry transport below. Call before the first multiply;
+// the injector may be shared across clusters (its crash rules are
+// consumed globally).
+func (c *Cluster) SetFaults(inj *faults.Injector, b Backoff) {
+	c.inj = inj
+	c.retry = b.WithDefaults()
+}
+
+// sendWithRetry delivers one message, consulting the injector per
+// attempt: drops and corruptions are retried after an exponential
+// backoff (the sleep stands in for the ack timeout a real transport
+// would pay), delays sleep before delivering, duplicates deliver
+// twice. It gives up — returning a *faults.Error — only after
+// MaxAttempts consecutive sabotaged attempts.
+func (c *Cluster) sendWithRetry(ch chan<- packet, src, dst int, seq int64, data []float64) error {
+	good := packet{seq: seq, data: data, crc: checksum(data)}
+	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			haloRetries.Inc()
+			time.Sleep(c.retry.Wait(seq, attempt))
+		}
+		v, d := c.inj.Message(src, dst, seq, attempt)
+		switch v {
+		case faults.VDrop:
+			continue // lost on the wire; retransmit after backoff
+		case faults.VCorrupt:
+			ch <- packet{seq: seq, data: corruptCopy(data), crc: good.crc}
+			continue // receiver rejects the checksum; retransmit
+		case faults.VDelay:
+			time.Sleep(d)
+			ch <- good
+			return nil
+		case faults.VDuplicate:
+			ch <- good
+			ch <- good
+			return nil
+		default:
+			ch <- good
+			return nil
+		}
+	}
+	haloLost.Inc()
+	return &faults.Error{
+		Kind: faults.Drop, Node: src, Src: src, Dst: dst, Seq: seq,
+		Msg: fmt.Sprintf("message %d->%d (seq %d) lost after %d attempts", src, dst, seq, c.retry.MaxAttempts),
+	}
+}
+
+// recvWithDeadline blocks for one valid message on ch: it discards
+// packets with a bad checksum or wrong length (counting them as
+// detected corruption) and keeps waiting for the retransmit. On a
+// tombstone it reports the peer's crash; past the deadline it reports
+// a timeout. After accepting, buffered same-seq duplicates are
+// drained and counted.
+func (c *Cluster) recvWithDeadline(ch <-chan packet, node, src int, seq int64, want int) ([]float64, error) {
+	timer := time.NewTimer(c.retry.Deadline)
+	defer timer.Stop()
+	for {
+		select {
+		case p := <-ch:
+			if p.tomb {
+				return nil, &faults.Error{
+					Kind: faults.Crash, Node: src, Src: src, Dst: node, Seq: seq,
+					Msg: fmt.Sprintf("node %d crashed before completing multiply %d", src, seq),
+				}
+			}
+			if p.seq != seq || len(p.data) != want || checksum(p.data) != p.crc {
+				haloCorruptRejected.Inc()
+				continue // damaged or stale; the sender retransmits
+			}
+			// Accepted. Drain any buffered duplicate of this message.
+			for {
+				select {
+				case q := <-ch:
+					if !q.tomb && q.seq == seq {
+						haloDupDiscarded.Inc()
+					}
+				default:
+					return p.data, nil
+				}
+			}
+		case <-timer.C:
+			haloTimeouts.Inc()
+			return nil, &faults.Error{
+				Kind: faults.Timeout, Node: node, Src: src, Dst: node, Seq: seq,
+				Msg: fmt.Sprintf("node %d: halo receive from node %d (seq %d) timed out after %v", node, src, seq, c.retry.Deadline),
+			}
+		}
+	}
+}
+
+// mulFaulty is the fault-tolerant twin of the healthy multiply: the
+// same owned-gather / post-sends / interior / receive-halo / boundary
+// / scatter phases, but every message crosses the checksummed retry
+// transport and each node can crash, stall, or time out. The first
+// error per node is collected; TryMul joins them.
+func (c *Cluster) mulFaulty(y, x *multivec.MultiVec) error {
+	m := x.M
+	seq := c.mulSeq.Add(1)
+
+	// chans[src][dst] carries packets; capacity covers the worst case
+	// of one packet per delivery attempt plus a tombstone, so senders
+	// never block.
+	chans := make([][]chan packet, c.p)
+	for s := range chans {
+		chans[s] = make([]chan packet, c.p)
+		for d := range chans[s] {
+			chans[s][d] = make(chan packet, 2*c.retry.MaxAttempts+2)
+		}
+	}
+
+	errs := make([]error, c.p)
+	var wg sync.WaitGroup
+	for _, nd := range c.nodes {
+		wg.Add(1)
+		go func(nd *node) {
+			defer wg.Done()
+			rowsPerBlock := bcrs.BlockDim * m
+
+			nth := c.nodeMuls[nd.id].Add(1)
+			if d := c.inj.SlowDelay(nd.id); d > 0 {
+				time.Sleep(d)
+			}
+			if c.inj.Crash(nd.id, nth) {
+				nodeCrashes.Inc()
+				// Tombstones let peers fail fast instead of waiting
+				// out their receive deadline.
+				for dst, rows := range nd.sendTo {
+					if len(rows) > 0 {
+						chans[nd.id][dst] <- packet{seq: seq, tomb: true}
+					}
+				}
+				errs[nd.id] = &faults.Error{
+					Kind: faults.Crash, Node: nd.id, Src: -1, Dst: -1, Seq: seq,
+					Msg: fmt.Sprintf("node %d crashed at its multiply %d", nd.id, nth),
+				}
+				return
+			}
+
+			// Gather owned rows of X into the local operand.
+			xOwn := multivec.New(len(nd.owned)*bcrs.BlockDim, m)
+			for l, g := range nd.owned {
+				copy(xOwn.Data[l*rowsPerBlock:(l+1)*rowsPerBlock],
+					x.Data[g*rowsPerBlock:(g+1)*rowsPerBlock])
+			}
+
+			// Post sends through the retry transport.
+			for dst, rows := range nd.sendTo {
+				if len(rows) == 0 {
+					continue
+				}
+				buf := make([]float64, len(rows)*rowsPerBlock)
+				for bi, l := range rows {
+					copy(buf[bi*rowsPerBlock:(bi+1)*rowsPerBlock],
+						xOwn.Data[l*rowsPerBlock:(l+1)*rowsPerBlock])
+				}
+				if err := c.sendWithRetry(chans[nd.id][dst], nd.id, dst, seq, buf); err != nil && errs[nd.id] == nil {
+					errs[nd.id] = err
+					// Keep going: peers still need our other messages.
+				}
+			}
+
+			// Interior product overlaps with the in-flight messages.
+			yLoc := multivec.New(len(nd.owned)*bcrs.BlockDim, m)
+			nd.interior.Mul(yLoc, xOwn)
+
+			// Receive the halo and apply the boundary strip.
+			if nd.boundary != nil {
+				xHalo := multivec.New(len(nd.halo)*bcrs.BlockDim, m)
+				for src := 0; src < c.p; src++ {
+					r := nd.recvFrom[src]
+					if r[0] == r[1] {
+						continue
+					}
+					want := (r[1] - r[0]) * rowsPerBlock
+					buf, err := c.recvWithDeadline(chans[src][nd.id], nd.id, src, seq, want)
+					if err != nil {
+						if errs[nd.id] == nil {
+							errs[nd.id] = err
+						}
+						return
+					}
+					copy(xHalo.Data[r[0]*rowsPerBlock:r[1]*rowsPerBlock], buf)
+				}
+				yB := multivec.New(len(nd.owned)*bcrs.BlockDim, m)
+				nd.boundary.Mul(yB, xHalo)
+				blas.Add(yLoc.Data, yLoc.Data, yB.Data)
+			}
+
+			if errs[nd.id] != nil {
+				return // a send was lost; don't publish a result for this multiply
+			}
+
+			// Scatter into the global result; rows are disjoint
+			// across nodes, so no locking is needed.
+			for l, g := range nd.owned {
+				copy(y.Data[g*rowsPerBlock:(g+1)*rowsPerBlock],
+					yLoc.Data[l*rowsPerBlock:(l+1)*rowsPerBlock])
+			}
+		}(nd)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// reduceSeqBase keeps reduction sequence numbers out of the multiply
+// sequence space so injector verdicts never collide between the two.
+const reduceSeqBase = int64(1) << 40
+
+// reduce combines one partial value per node up a binary tree, every
+// edge crossing the same deadline+retry transport as the halo
+// exchange. Node 0 holds the result.
+func (c *Cluster) reduce(perNode []float64, combine func(a, b float64) float64) (float64, error) {
+	if len(perNode) != c.p {
+		panic(fmt.Sprintf("cluster: reduce got %d values for %d nodes", len(perNode), c.p))
+	}
+	if c.retry.MaxAttempts == 0 {
+		c.retry = c.retry.WithDefaults()
+	}
+	seq := reduceSeqBase + c.redSeq.Add(1)
+
+	// chans[src] carries src's single partial to its parent.
+	chans := make([]chan packet, c.p)
+	for i := range chans {
+		chans[i] = make(chan packet, 2*c.retry.MaxAttempts+2)
+	}
+	errs := make([]error, c.p)
+	var result float64
+	var wg sync.WaitGroup
+	for id := 0; id < c.p; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			v := perNode[id]
+			for stride := 1; stride < c.p; stride *= 2 {
+				switch {
+				case id%(2*stride) == 0 && id+stride < c.p:
+					buf, err := c.recvWithDeadline(chans[id+stride], id, id+stride, seq, 1)
+					if err != nil {
+						errs[id] = err
+						return
+					}
+					v = combine(v, buf[0])
+				case id%(2*stride) == stride:
+					errs[id] = c.sendWithRetry(chans[id], id, id-stride, seq, []float64{v})
+					return
+				}
+			}
+			if id == 0 {
+				result = v
+			}
+		}(id)
+	}
+	wg.Wait()
+	return result, errors.Join(errs...)
+}
+
+// ReduceMax is a fault-tolerant all-to-root max reduction over one
+// value per node, the cluster-wide "worst of" a per-node quantity
+// (residual, error, load). It uses the same retry/backoff/deadline
+// policy as the halo exchange.
+func (c *Cluster) ReduceMax(perNode []float64) (float64, error) {
+	return c.reduce(perNode, math.Max)
+}
+
+// ReduceSum is the fault-tolerant sum reduction counterpart of
+// ReduceMax (the distributed inner-product building block).
+func (c *Cluster) ReduceSum(perNode []float64) (float64, error) {
+	return c.reduce(perNode, func(a, b float64) float64 { return a + b })
+}

@@ -1,0 +1,45 @@
+// Package faults injects deterministic failures into the simulated
+// distributed-memory stack of internal/cluster, so the retry,
+// recovery, and degradation machinery above it can be exercised —
+// and regression-tested — without real hardware misbehaving on cue.
+//
+// # Model
+//
+// A fault Plan is a list of Rules parsed from a compact spec string
+// (see Parse). Rules come in two families:
+//
+//   - Message faults (drop, delay, dup, corrupt) fire per delivery
+//     attempt of a halo-exchange or reduction message, each with an
+//     independent Bernoulli rate.
+//   - Node faults (slow, crash) target one node: slow adds a fixed
+//     latency to every multiply the node participates in; crash kills
+//     the node at its Nth multiply.
+//
+// A Plan is inert data. An Injector binds a Plan to a seed and is
+// what the cluster transport consults. All verdicts are pure
+// functions of (seed, rule, src, dst, seq, attempt), so a run with a
+// given seed injects exactly the same faults every time, regardless
+// of goroutine scheduling — the property the chaos tests rely on to
+// compare faulty and clean trajectories.
+//
+// # Invariants and failure semantics
+//
+//   - Injected faults never corrupt delivered data. A corrupt fault
+//     emits a damaged packet whose checksum cannot validate; the
+//     receiver discards it and the sender retransmits. Drops and
+//     delays affect timing only; duplicates are discarded by sequence
+//     number. Consequently a run that completes — with or without
+//     retries — computes bitwise the same numbers as a fault-free
+//     run.
+//   - A crash rule fires at most once per Injector (atomically
+//     consumed), so a replay after checkpoint recovery does not hit
+//     the same crash again and can make progress.
+//   - Every injected fault increments the obs counter
+//     faults_injected_total{kind=...} and, when Events is set, emits
+//     one "fault_injected" JSONL record. Detected faults (checksum
+//     rejections, retries, timeouts) are counted by the consumer in
+//     internal/cluster; recoveries are counted by internal/core.
+//   - Failures that exhaust their retry budget surface as *Error
+//     values; IsFault distinguishes them from programming or
+//     numerical errors so recovery only replays what a fault caused.
+package faults

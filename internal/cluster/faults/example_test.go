@@ -1,0 +1,30 @@
+package faults_test
+
+import (
+	"fmt"
+
+	"repro/internal/cluster/faults"
+)
+
+// Building a fault plan from its spec string: 2% of halo delivery
+// attempts are lost, and node 1 crashes at its fifth multiply. The
+// plan renders back to its canonical spec, and an injector bound to a
+// seed hands out deterministic verdicts.
+func ExampleParse() {
+	plan, err := faults.Parse("drop:rate=0.02;crash:node=1,at=5")
+	if err != nil {
+		fmt.Println("parse failed:", err)
+		return
+	}
+	fmt.Println(plan)
+
+	in := plan.NewInjector(1)
+	fmt.Println("crash at multiply 4:", in.Crash(1, 4))
+	fmt.Println("crash at multiply 5:", in.Crash(1, 5))
+	fmt.Println("crash replayed:     ", in.Crash(1, 5))
+	// Output:
+	// drop:rate=0.02;crash:node=1,at=5
+	// crash at multiply 4: false
+	// crash at multiply 5: true
+	// crash replayed:      false
+}

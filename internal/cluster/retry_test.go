@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffScheduleTable(t *testing.T) {
+	cases := []struct {
+		name string
+		b    Backoff
+		// wantLen is the schedule length (MaxAttempts-1 retries).
+		wantLen int
+		// maxWait is the cap no entry may exceed.
+		maxWait time.Duration
+		// minFirst bounds the first wait from below (Base*(1-Jitter)).
+		minFirst time.Duration
+	}{
+		{
+			name:     "defaults",
+			b:        Backoff{Seed: 1},
+			wantLen:  7,
+			maxWait:  10 * time.Millisecond,
+			minFirst: time.Duration(float64(200*time.Microsecond) * 0.8),
+		},
+		{
+			name: "no jitter grows geometrically",
+			b: Backoff{Base: time.Millisecond, Factor: 3, Max: time.Second,
+				Jitter: -1, MaxAttempts: 4, Seed: 1},
+			wantLen:  3,
+			maxWait:  time.Second,
+			minFirst: time.Millisecond,
+		},
+		{
+			name: "tight cap clamps everything",
+			b: Backoff{Base: 5 * time.Millisecond, Factor: 10, Max: 6 * time.Millisecond,
+				Jitter: 0.5, MaxAttempts: 6, Seed: 7},
+			wantLen:  5,
+			maxWait:  6 * time.Millisecond,
+			minFirst: 2500 * time.Microsecond,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sched := tc.b.Schedule(3)
+			if len(sched) != tc.wantLen {
+				t.Fatalf("schedule length %d, want %d", len(sched), tc.wantLen)
+			}
+			for i, w := range sched {
+				if w > tc.maxWait {
+					t.Errorf("wait %d = %v exceeds cap %v", i, w, tc.maxWait)
+				}
+				if w <= 0 {
+					t.Errorf("wait %d = %v not positive", i, w)
+				}
+			}
+			if sched[0] < tc.minFirst {
+				t.Errorf("first wait %v below %v", sched[0], tc.minFirst)
+			}
+		})
+	}
+}
+
+// The un-jittered schedule must be non-decreasing up to the cap.
+func TestBackoffMonotoneWithoutJitter(t *testing.T) {
+	b := Backoff{Base: 100 * time.Microsecond, Factor: 2, Max: time.Millisecond,
+		Jitter: -1, MaxAttempts: 8, Seed: 1}
+	sched := b.Schedule(0)
+	for i := 1; i < len(sched); i++ {
+		if sched[i] < sched[i-1] {
+			t.Fatalf("schedule decreased at %d: %v < %v", i, sched[i], sched[i-1])
+		}
+	}
+	if sched[len(sched)-1] != time.Millisecond {
+		t.Fatalf("tail %v did not reach the cap", sched[len(sched)-1])
+	}
+}
+
+// Jitter is deterministic in the seed: same seed, same schedule;
+// different seeds or different message seqs must diverge somewhere.
+func TestBackoffJitterDeterministicUnderSeed(t *testing.T) {
+	mk := func(seed uint64) Backoff {
+		return Backoff{Base: time.Millisecond, Factor: 2, Max: 100 * time.Millisecond,
+			Jitter: 0.3, MaxAttempts: 8, Seed: seed}
+	}
+	a1, a2, b := mk(5), mk(5), mk(6)
+	sameSeedSame := true
+	crossSeedDiffer := false
+	crossSeqDiffer := false
+	for seq := int64(0); seq < 20; seq++ {
+		sa1, sa2, sb := a1.Schedule(seq), a2.Schedule(seq), b.Schedule(seq)
+		for i := range sa1 {
+			if sa1[i] != sa2[i] {
+				sameSeedSame = false
+			}
+			if sa1[i] != sb[i] {
+				crossSeedDiffer = true
+			}
+		}
+		if seq > 0 {
+			prev := a1.Schedule(seq - 1)
+			for i := range sa1 {
+				if sa1[i] != prev[i] {
+					crossSeqDiffer = true
+				}
+			}
+		}
+	}
+	if !sameSeedSame {
+		t.Error("same seed produced different schedules")
+	}
+	if !crossSeedDiffer {
+		t.Error("different seeds produced identical schedules")
+	}
+	if !crossSeqDiffer {
+		t.Error("different message seqs produced identical schedules")
+	}
+}
+
+func TestBackoffWithDefaults(t *testing.T) {
+	b := Backoff{}.WithDefaults()
+	if b.Base <= 0 || b.Max <= 0 || b.Factor < 1 || b.MaxAttempts <= 0 || b.Deadline <= 0 {
+		t.Fatalf("defaults incomplete: %+v", b)
+	}
+	if b.Jitter <= 0 || b.Jitter >= 1 {
+		t.Fatalf("default jitter %v out of (0,1)", b.Jitter)
+	}
+}

@@ -103,6 +103,11 @@ type Config struct {
 	// guesses phase. This composes the paper's MRHS approach with
 	// the Section III preconditioner-reuse technique.
 	BlockPrecond func(a *bcrs.Matrix) solver.Preconditioner
+	// Recovery, if non-nil, arms crash recovery in the Run loops:
+	// transport faults that unwind out of a step or chunk restore the
+	// last snapshot and replay it (see Recovery). Nil converts fault
+	// panics to errors but does not replay.
+	Recovery *Recovery
 	// ExternalForce, if non-nil, returns the deterministic
 	// inter-particle force f^P at a configuration (the paper's
 	// bonded-chain case, Section II-A; its experiments use f^P = 0).
@@ -207,6 +212,11 @@ type Runner struct {
 	cur Configuration
 	k   int // global step index
 
+	// onStepHigh is the watermark of steps already reported through
+	// OnStep, so a fault-recovery replay never emits a trajectory
+	// frame twice.
+	onStepHigh int
+
 	Timings Timings
 	Records []StepRecord
 
@@ -252,6 +262,9 @@ func (r *Runner) SkipTo(step int) {
 		panic("core: SkipTo cannot rewind")
 	}
 	r.k = step
+	if step > r.onStepHigh {
+		r.onStepHigh = step
+	}
 }
 
 // Cfg returns the effective (defaulted) configuration.
@@ -339,12 +352,18 @@ func (r *Runner) emitChunk(m int, st solver.BlockStats, before Timings) {
 	}
 	reg.Counter("core_chunks_total").Inc()
 	reg.Counter("core_block_iterations_total").Add(int64(st.Iterations))
+	if st.Fallback {
+		reg.Counter("core_block_fallbacks_total").Inc()
+	}
 	if r.Events != nil {
 		f := map[string]any{
 			"step":           r.k,
 			"m":              m,
 			"block_iters":    st.Iterations,
 			"block_residual": st.Residual,
+		}
+		if st.Fallback {
+			f["fallback_columns"] = st.FallbackColumns
 		}
 		for phase, d := range deltas {
 			if d > 0 {
@@ -493,8 +512,11 @@ func (r *Runner) StepOriginal() error {
 // advance completes a time step: notifies the observer, displaces the
 // configuration by the midpoint velocity, and bumps the counters.
 func (r *Runner) advance(uHalf []float64) {
-	if r.OnStep != nil {
-		r.OnStep(r.k, uHalf, r.cfg.Dt)
+	if r.k >= r.onStepHigh {
+		if r.OnStep != nil {
+			r.OnStep(r.k, uHalf, r.cfg.Dt)
+		}
+		r.onStepHigh = r.k + 1
 	}
 	r.cur = r.cur.Displaced(uHalf, r.cfg.Dt)
 	r.k++
@@ -577,7 +599,7 @@ func (r *Runner) StepMRHS(steps int) error {
 	if r.cfg.BlockPrecond != nil {
 		blockOpts.Precond = r.cfg.BlockPrecond(a0)
 	}
-	stB := solver.BlockCG(op0, u, fb, blockOpts)
+	stB := solver.BlockCGWithFallback(op0, u, fb, blockOpts)
 	r.Timings.CalcGuesses += time.Since(t0)
 	r.BlockIters += stB.Iterations
 	if !stB.Converged {
@@ -660,10 +682,12 @@ func relError(sol, guess []float64) float64 {
 	return math.Sqrt(num / den)
 }
 
-// RunOriginal advances n steps with the original algorithm.
+// RunOriginal advances n steps with the original algorithm. Each step
+// runs under fault recovery (see Config.Recovery): a transport fault
+// restores the last snapshot and replays the step.
 func (r *Runner) RunOriginal(n int) error {
 	for i := 0; i < n; i++ {
-		if err := r.StepOriginal(); err != nil {
+		if err := r.runRecoverable("step", r.StepOriginal); err != nil {
 			return err
 		}
 	}
@@ -671,13 +695,18 @@ func (r *Runner) RunOriginal(n int) error {
 }
 
 // RunMRHS advances n steps with the MRHS algorithm in chunks of M.
+// Each chunk runs under fault recovery (see Config.Recovery): a
+// transport fault anywhere in the chunk — the block solve or any of
+// its m steps — rolls back to the chunk start and replays; the noise
+// streams are indexed by the global step counter, so the replay
+// integrates the identical trajectory.
 func (r *Runner) RunMRHS(n int) error {
 	for n > 0 {
 		chunk := r.cfg.M
 		if chunk > n {
 			chunk = n
 		}
-		if err := r.StepMRHS(chunk); err != nil {
+		if err := r.runRecoverable("chunk", func() error { return r.StepMRHS(chunk) }); err != nil {
 			return err
 		}
 		n -= chunk

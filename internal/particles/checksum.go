@@ -1,0 +1,34 @@
+package particles
+
+import "math"
+
+// Checksum returns an FNV-1a hash over the exact float64 bits of the
+// system's box, positions, and radii. Two systems have equal
+// checksums iff their geometry is bitwise identical, so trajectory
+// checksums detect any divergence — including single-ulp drift — at
+// the cost of printing one number. The chaos acceptance tests compare
+// a seeded fault run's checksum against a clean run's.
+func (sys *System) Checksum() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(bits uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (bits >> s) & 0xff
+			h *= prime
+		}
+	}
+	mix(uint64(sys.N))
+	mix(math.Float64bits(sys.Box))
+	for _, p := range sys.Pos {
+		mix(math.Float64bits(p[0]))
+		mix(math.Float64bits(p[1]))
+		mix(math.Float64bits(p[2]))
+	}
+	for _, r := range sys.Radius {
+		mix(math.Float64bits(r))
+	}
+	return h
+}

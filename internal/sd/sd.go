@@ -15,12 +15,10 @@ import (
 	"time"
 
 	"repro/internal/bcrs"
-	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/hydro"
 	"repro/internal/neighbor"
 	"repro/internal/particles"
-	"repro/internal/partition"
 )
 
 // Conf is a Stokesian-dynamics configuration: an immutable-by-
@@ -168,16 +166,5 @@ func listOf(c *Conf) *neighbor.List { return c.list }
 // having (Section V-A), at the functional level (the physics and the
 // message pattern are real; the nodes are goroutines).
 func NewDistributed(sys *particles.System, opt hydro.Options, cfg core.Config, p int) *Simulation {
-	cfg.Distribute = func(a *bcrs.Matrix, c core.Configuration) core.DistOp {
-		sc := c.(*Conf)
-		r := partition.RCB(a, sc.Sys.Pos, p)
-		cl, err := cluster.New(a, r.Part, p)
-		if err != nil {
-			// Construction only fails on malformed partitions — a
-			// programming error, not a runtime condition.
-			panic(fmt.Sprintf("sd: distributed wrap failed: %v", err))
-		}
-		return cl
-	}
-	return &Simulation{Runner: core.NewRunner(NewConf(sys, opt, 1), cfg)}
+	return NewDistributedOpts(sys, opt, cfg, DistOptions{P: p})
 }

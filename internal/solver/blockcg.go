@@ -14,6 +14,11 @@ type BlockStats struct {
 	ColumnConverged []bool
 	// ColumnResiduals[j] is the final relative residual of column j.
 	ColumnResiduals []float64
+	// Fallback reports that BlockCGWithFallback had to degrade to
+	// per-column CG; FallbackColumns counts the columns it rescued
+	// (attempted, whether or not they then converged).
+	Fallback        bool
+	FallbackColumns int
 }
 
 // BlockCG solves A*X = B for SPD A and a block of m right-hand sides

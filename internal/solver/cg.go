@@ -1,14 +1,3 @@
-// Package solver provides the linear solvers of the Stokesian
-// dynamics time step: conjugate gradients (with initial guesses —
-// the mechanism the MRHS algorithm feeds), the block conjugate
-// gradient method of O'Leary for the augmented multiple-right-hand-
-// side systems, Cholesky-based direct solution with iterative
-// refinement for small systems (the paper's Section II-C baseline),
-// and an optional block-Jacobi preconditioner.
-//
-// All iterative solvers count iterations and matrix multiplications;
-// these counters are the data behind the paper's Table V and
-// Figure 6.
 package solver
 
 import (

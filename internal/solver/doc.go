@@ -1,0 +1,35 @@
+// Package solver provides the linear solvers of the Stokesian
+// dynamics time step: conjugate gradients (with initial guesses —
+// the mechanism the MRHS algorithm feeds), the block conjugate
+// gradient method of O'Leary for the augmented multiple-right-hand-
+// side systems, Cholesky-based direct solution with iterative
+// refinement for small systems (the paper's Section II-C baseline),
+// and an optional block-Jacobi preconditioner.
+//
+// All iterative solvers count iterations and matrix multiplications;
+// these counters are the data behind the paper's Table V and
+// Figure 6.
+//
+// # Invariants and failure semantics
+//
+//   - Operators have no error return. When the operator is a
+//     fault-armed cluster, its Mul panics with a *faults.Error; the
+//     solvers deliberately do not recover it, so a failed halo
+//     exchange unwinds straight through the CG iteration to the core
+//     step boundary, where recovery replays from the last checkpoint.
+//     A solve therefore never runs to "convergence" on poisoned data.
+//   - BlockCG never panics on numerical breakdown: a singular m-by-m
+//     projected system is ridge-regularized, and if that fails the
+//     solve returns the current iterate with per-column convergence
+//     flags. Callers must inspect BlockStats.Converged.
+//   - BlockCGWithFallback is the graceful-degradation surface: when
+//     the block solve leaves columns above tolerance it re-solves
+//     each by warm-started single-vector CG plus bounded iterative
+//     refinement, and reports the rescue in BlockStats.Fallback /
+//     FallbackColumns. It is a strict superset of BlockCG's contract
+//     and costs nothing on converged solves.
+//   - Warm starts are pure: solvers read the initial guess from x and
+//     overwrite it in place; they never consult other state, so a
+//     replayed solve with the same inputs is bitwise identical (the
+//     property the chaos tests assert end-to-end).
+package solver

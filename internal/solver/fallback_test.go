@@ -1,0 +1,108 @@
+package solver
+
+import (
+	"testing"
+
+	"repro/internal/multivec"
+)
+
+// A starved block solve (MaxIter too small to converge) must be
+// rescued column by column: the fallback re-solves every unconverged
+// column and the final iterate meets the tolerance.
+func TestBlockCGFallbackRescuesStarvedSolve(t *testing.T) {
+	a := spdMatrix(3, 80, 6)
+	n := a.N()
+	m := 4
+	b := multivec.New(n, m)
+	for j := 0; j < m; j++ {
+		b.SetCol(j, randVec(int64(10+j), n))
+	}
+
+	opt := Options{Tol: 1e-8, MaxIter: 2}
+	// Sanity: the starved plain block solve really fails.
+	xPlain := multivec.New(n, m)
+	if st := BlockCG(a, xPlain, b, opt); st.Converged {
+		t.Fatal("MaxIter=2 block solve converged; test needs a failing baseline")
+	}
+
+	x := multivec.New(n, m)
+	st := BlockCGWithFallback(a, x, b, opt)
+	if !st.Fallback {
+		t.Fatal("fallback did not engage on a non-converged block solve")
+	}
+	if st.FallbackColumns == 0 {
+		t.Fatal("fallback engaged but handled no columns")
+	}
+	if !st.Converged {
+		t.Fatalf("fallback did not converge: residual %g, columns %v",
+			st.Residual, st.ColumnResiduals)
+	}
+	for j := 0; j < m; j++ {
+		if !st.ColumnConverged[j] {
+			t.Errorf("column %d not converged: %g", j, st.ColumnResiduals[j])
+		}
+		col := make([]float64, n)
+		bcol := make([]float64, n)
+		x.Col(j, col)
+		b.Col(j, bcol)
+		if r := residual(a, col, bcol); r > 1e-8 {
+			t.Errorf("column %d residual %g above tolerance", j, r)
+		}
+	}
+	if len(st.Residuals) != m {
+		t.Errorf("Residuals has %d entries, want %d", len(st.Residuals), m)
+	}
+}
+
+// On a healthy solve the fallback is free: identical stats and
+// bitwise identical iterate to plain BlockCG.
+func TestBlockCGFallbackNoOpWhenConverged(t *testing.T) {
+	a := spdMatrix(5, 60, 6)
+	n := a.N()
+	m := 3
+	b := multivec.New(n, m)
+	for j := 0; j < m; j++ {
+		b.SetCol(j, randVec(int64(20+j), n))
+	}
+	opt := Options{Tol: 1e-8}
+
+	x1 := multivec.New(n, m)
+	st1 := BlockCG(a, x1, b, opt)
+	if !st1.Converged {
+		t.Fatal("baseline block solve did not converge")
+	}
+	x2 := multivec.New(n, m)
+	st2 := BlockCGWithFallback(a, x2, b, opt)
+	if st2.Fallback || st2.FallbackColumns != 0 {
+		t.Fatalf("fallback engaged on a converged solve: %+v", st2)
+	}
+	if st1.Iterations != st2.Iterations || st1.MatMuls != st2.MatMuls {
+		t.Fatalf("stats differ: %+v vs %+v", st1.Stats, st2.Stats)
+	}
+	for i := range x1.Data {
+		if x1.Data[i] != x2.Data[i] {
+			t.Fatalf("iterates differ at %d", i)
+		}
+	}
+}
+
+// The BlockOperator→Operator adapter must agree with the matrix's own
+// MulVec.
+func TestAsOperatorAdapter(t *testing.T) {
+	a := spdMatrix(7, 20, 4)
+	n := a.N()
+	x := randVec(1, n)
+	want := make([]float64, n)
+	a.MulVec(want, x)
+
+	got := make([]float64, n)
+	blockAsOp{a}.MulVec(got, x)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("adapter MulVec differs at %d", i)
+		}
+	}
+	if op := asOperator(a); op != Operator(a) {
+		t.Error("asOperator did not use the matrix's own Operator surface")
+	}
+}
