@@ -1,11 +1,13 @@
 GO ?= go
 
-.PHONY: ci vet build test race chaos bench bench-snapshot
+.PHONY: ci vet build test race chaos serial bench bench-snapshot bench-scaling
 
 # ci is the gate: vet, build everything, the full test suite under
-# the race detector (the obs hot paths are lock-free; -race is what
-# validates them), and the seeded fault-injection suite.
-ci: vet build race chaos
+# the race detector (the obs hot paths are lock-free and the worker
+# pool is the most concurrent code in the tree; -race is what
+# validates them), the seeded fault-injection suite, and one serial
+# pass with GOMAXPROCS=1 to prove nothing depends on real parallelism.
+ci: vet build race chaos serial
 
 vet:
 	$(GO) vet ./...
@@ -25,12 +27,25 @@ race:
 chaos:
 	$(GO) test -race -run 'Chaos|Recovery|Fault|Fallback|Backoff' ./internal/cluster/... ./internal/core/ ./internal/sd/ ./internal/solver/
 
+# serial runs the full suite pinned to one OS thread: the worker pool
+# must produce identical results (and never deadlock) when the runtime
+# has no parallelism to give it.
+serial:
+	GOMAXPROCS=1 $(GO) test ./...
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 # bench-snapshot produces the BENCH_obs.json artifact two ways: the
 # quick test-fixture route (BENCH_OBS_JSON env var) and the heavier
-# gspmv-bench sweep with kernel counters.
-bench-snapshot:
+# gspmv-bench sweep with kernel counters — then the step-scaling
+# artifact alongside it.
+bench-snapshot: bench-scaling
 	BENCH_OBS_JSON=$(CURDIR)/BENCH_obs.json $(GO) test -run TestBenchObsSnapshot .
 	$(GO) run ./cmd/gspmv-bench -nb 10000 -m 1,2,4,8,16 -obs-json $(CURDIR)/BENCH_obs.json
+
+# bench-scaling sweeps the worker-pool size over full MRHS steps and
+# writes BENCH_parallel.json: per-phase seconds, speedup, and parallel
+# efficiency per thread count (1,2,4,... up to NumCPU by default).
+bench-scaling:
+	$(GO) run ./cmd/scaling-bench -n 1000 -steps 4 -m 16 -json $(CURDIR)/BENCH_parallel.json

@@ -1,10 +1,13 @@
 // Command gspmv-bench measures single-node GSPMV performance:
 // achieved relative times r(m) against the Section IV-B model, plus
-// achieved GB/s and Gflop/s.
+// achieved GB/s and Gflop/s. With a comma-separated -threads list it
+// sweeps the worker-pool size and reports the scaling table — speedup
+// and parallel efficiency per (m, threads) pair.
 //
 // Example:
 //
-//	gspmv-bench -nb 50000 -bpr 24.9 -max-m 42
+//	gspmv-bench -nb 50000 -bpr 24.9 -m 1,8,16
+//	gspmv-bench -threads 1,2,4,8
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"repro/internal/bcrs"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/perf"
 )
 
@@ -26,7 +30,7 @@ func main() {
 		bpr     = flag.Float64("bpr", 24.9, "target non-zero blocks per block row")
 		msFlag  = flag.String("m", "1,2,4,8,12,16,24,32,42", "comma-separated vector counts")
 		seed    = flag.Uint64("seed", 1, "matrix seed")
-		threads = flag.Int("threads", 1, "kernel threads")
+		thrFlag = flag.String("threads", "1", "comma-separated kernel thread counts to sweep")
 		k       = flag.Float64("k", 3, "model k(m): extra X accesses per element")
 		obsJSON = flag.String("obs-json", "", "write an obs metrics snapshot (JSON, e.g. BENCH_obs.json) to this file after the run")
 	)
@@ -37,9 +41,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gspmv-bench:", err)
 		os.Exit(1)
 	}
+	ts, err := parseInts(*thrFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gspmv-bench:", err)
+		os.Exit(1)
+	}
 
 	a := bcrs.Random(bcrs.RandomOptions{NB: *nb, BlocksPerRow: *bpr, Seed: *seed})
-	a.SetThreads(*threads)
 	st := a.Stats()
 	fmt.Printf("matrix: nb=%d nnzb=%d nnzb/nb=%.1f (%.1f MiB)\n",
 		st.NB, st.NNZB, st.BlocksPerRow, float64(st.Bytes)/(1<<20))
@@ -49,14 +57,47 @@ func main() {
 		host.B/1e9, host.F/1e9, host.ByteFlopRatio())
 
 	g := model.GSPMV{Machine: host, Shape: model.Shape{NB: a.NB(), NNZB: a.NNZB()}, K: model.ConstK(*k)}
-	t1 := perf.TimeMultiply(a, 1, 0)
-	fmt.Printf("\n%-5s %-12s %-10s %-10s %-8s %-8s\n", "m", "time/mul", "r(m)", "model r", "GB/s", "Gflops")
-	for _, m := range ms {
-		r := perf.MeasureRates(a, m, *k)
-		fmt.Printf("%-5d %-12s %-10.2f %-10.2f %-8.1f %-8.1f\n",
-			m, fmt.Sprintf("%.3fms", r.Secs*1e3), r.Secs/t1, g.RelativeTime(m), r.GBps, r.Gflops)
+
+	// secs[ti][mi] is the per-multiply time at ts[ti] threads, ms[mi]
+	// vectors.
+	secs := make([][]float64, len(ts))
+	for ti, t := range ts {
+		a.SetThreads(t)
+		parallel.SetThreads(t)
+		t1 := perf.TimeMultiply(a, 1, 0)
+		secs[ti] = make([]float64, len(ms))
+		fmt.Printf("\nthreads=%d\n", t)
+		fmt.Printf("%-5s %-12s %-10s %-10s %-8s %-8s\n", "m", "time/mul", "r(m)", "model r", "GB/s", "Gflops")
+		for mi, m := range ms {
+			r := perf.MeasureRates(a, m, *k)
+			secs[ti][mi] = r.Secs
+			fmt.Printf("%-5d %-12s %-10.2f %-10.2f %-8.1f %-8.1f\n",
+				m, fmt.Sprintf("%.3fms", r.Secs*1e3), r.Secs/t1, g.RelativeTime(m), r.GBps, r.Gflops)
+		}
 	}
+	parallel.SetThreads(1)
 	fmt.Printf("\nmodel switch point m_s = %d (bandwidth -> compute bound)\n", g.MSwitch(256))
+
+	// Scaling table: speedup and parallel efficiency of each (m,
+	// threads) pair against the first (reference) thread count.
+	if len(ts) > 1 {
+		ref := ts[0]
+		fmt.Printf("\nscaling vs threads=%d (speedup / efficiency):\n", ref)
+		fmt.Printf("%-5s", "m")
+		for _, t := range ts[1:] {
+			fmt.Printf(" %14s", fmt.Sprintf("t=%d", t))
+		}
+		fmt.Println()
+		for mi, m := range ms {
+			fmt.Printf("%-5d", m)
+			for ti := 1; ti < len(ts); ti++ {
+				sp := secs[0][mi] / secs[ti][mi]
+				eff := sp * float64(ref) / float64(ts[ti])
+				fmt.Printf(" %14s", fmt.Sprintf("%.2fx / %3.0f%%", sp, eff*100))
+			}
+			fmt.Println()
+		}
+	}
 
 	if *obsJSON != "" {
 		if err := obs.Default.Snapshot().SaveFile(*obsJSON); err != nil {

@@ -152,7 +152,7 @@ func main() {
 		}
 		cfg.Recovery = &core.Recovery{
 			MaxRetries:  5,
-			Snapshotter: sd.FileSnapshotter(path, hopt, 1, *seed),
+			Snapshotter: sd.FileSnapshotter(path, hopt, *threads, *seed),
 		}
 		fmt.Printf("faults: plan %q armed on %d nodes (recovery checkpoint %s)\n", plan, *nodes, path)
 	}
@@ -170,7 +170,7 @@ func main() {
 		var sim *sd.Simulation
 		if *nodes > 0 {
 			sim = sd.NewDistributedOpts(sys, hopt, cfg, sd.DistOptions{
-				P: *nodes, Faults: inj, Retry: cluster.Backoff{Seed: *seed},
+				P: *nodes, Threads: *threads, Faults: inj, Retry: cluster.Backoff{Seed: *seed},
 			})
 		} else {
 			sim = sd.New(sys, hopt, cfg, *threads)

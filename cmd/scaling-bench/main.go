@@ -1,0 +1,170 @@
+// Command scaling-bench measures how a full MRHS Stokesian-dynamics
+// step scales with the worker-pool size. For each thread count it runs
+// the same seeded simulation — assembly, Chebyshev Brownian forces,
+// warm-start guesses, and both solves all dispatch through the shared
+// pool — and reports per-phase times, whole-step speedup, and parallel
+// efficiency, writing the table to a JSON artifact (BENCH_parallel.json
+// by default).
+//
+// The default sweep is powers of two up to NumCPU; -threads overrides
+// it, which also lets oversubscribed runs be measured explicitly.
+//
+// Example:
+//
+//	scaling-bench -n 1000 -steps 4 -m 16
+//	scaling-bench -threads 1,2,4,8,16 -json BENCH_parallel.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/hydro"
+	"repro/internal/parallel"
+	"repro/internal/particles"
+	"repro/internal/sd"
+)
+
+// run is one row of the artifact: a full simulation at one pool size.
+type run struct {
+	Threads         int                `json:"threads"`
+	TotalSeconds    float64            `json:"total_seconds"`
+	PerStepSeconds  float64            `json:"per_step_seconds"`
+	PerPhaseSeconds map[string]float64 `json:"per_phase_seconds"`
+	Checksum        string             `json:"checksum"`
+	Speedup         float64            `json:"speedup"`
+	Efficiency      float64            `json:"efficiency"`
+}
+
+type artifact struct {
+	N      int      `json:"n"`
+	Phi    float64  `json:"phi"`
+	M      int      `json:"m"`
+	Steps  int      `json:"steps"`
+	Seed   uint64   `json:"seed"`
+	NumCPU int      `json:"num_cpu"`
+	Runs   []run    `json:"runs"`
+	Phases []string `json:"phases"`
+}
+
+func main() {
+	var (
+		n       = flag.Int("n", 1000, "number of particles")
+		phi     = flag.Float64("phi", 0.4, "volume occupancy")
+		m       = flag.Int("m", 16, "right-hand sides per MRHS chunk")
+		steps   = flag.Int("steps", 4, "time steps per measurement")
+		dt      = flag.Float64("dt", 2, "time step size")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		thrFlag = flag.String("threads", "", "comma-separated thread counts (default: 1,2,4,... up to NumCPU)")
+		out     = flag.String("json", "BENCH_parallel.json", "artifact path")
+	)
+	flag.Parse()
+
+	ts, err := threadList(*thrFlag)
+	if err != nil {
+		fail(err)
+	}
+
+	art := artifact{
+		N: *n, Phi: *phi, M: *m, Steps: *steps, Seed: *seed,
+		NumCPU: runtime.NumCPU(),
+		Phases: core.PhaseOrder,
+	}
+
+	fmt.Printf("step scaling: n=%d phi=%.2f m=%d steps=%d threads=%v (NumCPU=%d)\n",
+		*n, *phi, *m, *steps, ts, art.NumCPU)
+	for _, t := range ts {
+		r, err := measure(*n, *phi, *m, *steps, *dt, *seed, t)
+		if err != nil {
+			fail(err)
+		}
+		art.Runs = append(art.Runs, r)
+	}
+	parallel.SetThreads(1)
+
+	// Speedup and efficiency against the first (reference) run.
+	ref := art.Runs[0]
+	fmt.Printf("\n%-8s %-12s %-10s %-10s %s\n", "threads", "step time", "speedup", "eff", "checksum")
+	for i := range art.Runs {
+		r := &art.Runs[i]
+		r.Speedup = ref.TotalSeconds / r.TotalSeconds
+		r.Efficiency = r.Speedup * float64(ref.Threads) / float64(r.Threads)
+		fmt.Printf("%-8d %-12s %-10.2f %-10s %s\n",
+			r.Threads, fmt.Sprintf("%.4fs", r.PerStepSeconds), r.Speedup,
+			fmt.Sprintf("%.0f%%", r.Efficiency*100), r.Checksum)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("\nartifact written to %s\n", *out)
+}
+
+// measure runs the seeded simulation at one pool size and returns its
+// timing row. Each run starts from a freshly generated system, so the
+// trajectory — and therefore the checksum column, which validates the
+// determinism contract across the sweep — depends only on (seed,
+// threads).
+func measure(n int, phi float64, m, steps int, dt float64, seed uint64, threads int) (run, error) {
+	sys, err := particles.New(particles.Options{N: n, Phi: phi, Seed: seed})
+	if err != nil {
+		return run{}, err
+	}
+	cfg := core.Config{Dt: dt, M: m, Seed: seed}
+	sim := sd.New(sys, hydro.Options{Phi: phi}, cfg, threads)
+	if err := sim.RunMRHS(steps); err != nil {
+		return run{}, err
+	}
+	rep := sim.Report()
+	total := sim.Elapsed().Seconds()
+	return run{
+		Threads:         threads,
+		TotalSeconds:    total,
+		PerStepSeconds:  total / float64(steps),
+		PerPhaseSeconds: rep.PerStep,
+		Checksum:        fmt.Sprintf("%016x", sim.System().Checksum()),
+	}, nil
+}
+
+// threadList parses the -threads override or defaults to powers of two
+// up to NumCPU (always including 1 and NumCPU itself).
+func threadList(s string) ([]int, error) {
+	if s != "" {
+		var out []int
+		for _, part := range strings.Split(s, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("bad thread count %q", part)
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	ncpu := runtime.NumCPU()
+	var out []int
+	for t := 1; t < ncpu; t *= 2 {
+		out = append(out, t)
+	}
+	out = append(out, ncpu)
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "scaling-bench:", err)
+	os.Exit(1)
+}

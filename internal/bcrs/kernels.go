@@ -1,10 +1,10 @@
 package bcrs
 
 import (
-	"sync"
 	"time"
 
 	"repro/internal/multivec"
+	"repro/internal/parallel"
 )
 
 // MulVec computes y = A*x, the classic single-vector SPMV. len(x) and
@@ -64,23 +64,21 @@ func (a *Matrix) mul(y, x *multivec.MultiVec, forceGeneric bool) {
 	a.recordMul(m, time.Since(t0).Seconds())
 }
 
-// parallel runs fn over the thread-blocked block-row ranges. Each
-// range writes a disjoint slice of the output, so no synchronization
-// beyond the final join is needed.
+// parallel runs fn over the thread-blocked block-row ranges,
+// dispatched through the shared persistent worker pool instead of
+// spawning fresh goroutines per multiply. Each range writes a
+// disjoint slice of the output, so the result is bitwise-identical
+// for any pool size and no synchronization beyond the final join is
+// needed.
 func (a *Matrix) parallel(fn func(lo, hi int)) {
 	if len(a.ranges) <= 1 {
 		fn(0, a.nb)
 		return
 	}
-	var wg sync.WaitGroup
-	for _, r := range a.ranges {
-		wg.Add(1)
-		go func(r rowRange) {
-			defer wg.Done()
-			fn(r.lo, r.hi)
-		}(r)
-	}
-	wg.Wait()
+	ranges := a.ranges
+	parallel.Default().DoOp("bcrs_mul", len(ranges), func(i int) {
+		fn(ranges[i].lo, ranges[i].hi)
+	})
 }
 
 // spmv1 is the specialized m=1 kernel: a scalar 3x3 block-row SPMV

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/bcrs"
 	"repro/internal/multivec"
+	"repro/internal/parallel"
 )
 
 // Coefficients returns the first order+1 Chebyshev series
@@ -163,18 +164,25 @@ func (s *SqrtOp) ApplyBlock(y, z *multivec.MultiVec) {
 	// T_1 = As*Z = alpha*A*Z + beta*Z.
 	tCur := multivec.New(n, z.M)
 	s.a.Mul(tCur, z)
-	for i := range tCur.Data {
-		tCur.Data[i] = alpha*tCur.Data[i] + beta*z.Data[i]
-	}
+	pool := parallel.Default()
+	pool.ForOp("chebyshev_recurrence", len(tCur.Data), elemGrain, func(lo, hi int) {
+		tc, zd := tCur.Data, z.Data
+		for i := lo; i < hi; i++ {
+			tc[i] = alpha*tc[i] + beta*zd[i]
+		}
+	})
 	addScaled(y, tCur, s.c[1])
 
 	scratch := multivec.New(n, z.M)
 	for j := 2; j < len(s.c); j++ {
 		// T_{j} = 2*As*T_{j-1} - T_{j-2}.
 		s.a.Mul(scratch, tCur)
-		for i := range scratch.Data {
-			scratch.Data[i] = 2*(alpha*scratch.Data[i]+beta*tCur.Data[i]) - tPrev.Data[i]
-		}
+		pool.ForOp("chebyshev_recurrence", len(scratch.Data), elemGrain, func(lo, hi int) {
+			sc, tc, tp := scratch.Data, tCur.Data, tPrev.Data
+			for i := lo; i < hi; i++ {
+				sc[i] = 2*(alpha*sc[i]+beta*tc[i]) - tp[i]
+			}
+		})
 		tPrev, tCur, scratch = tCur, scratch, tPrev
 		addScaled(y, tCur, s.c[j])
 	}
@@ -186,8 +194,17 @@ func (s *SqrtOp) Apply(y, z []float64) {
 	s.ApplyBlock(multivec.FromVector(y), multivec.FromVector(z))
 }
 
+// elemGrain matches the multivec streaming grain: below ~8k scalars a
+// parallel dispatch costs more than the loop.
+const elemGrain = 8192
+
+// addScaled computes y += c*x elementwise. Chunks write disjoint
+// ranges, so the update is bitwise-identical for any thread count.
 func addScaled(y, x *multivec.MultiVec, c float64) {
-	for i := range y.Data {
-		y.Data[i] += c * x.Data[i]
-	}
+	yd, xd := y.Data, x.Data
+	parallel.Default().ForOp("chebyshev_addscaled", len(yd), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			yd[i] += c * xd[i]
+		}
+	})
 }

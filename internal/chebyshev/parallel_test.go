@@ -1,0 +1,45 @@
+package chebyshev
+
+import (
+	"testing"
+
+	"repro/internal/bcrs"
+	"repro/internal/multivec"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// TestApplyBlockExactAcrossThreadCounts: every pooled loop in the
+// Chebyshev recurrence writes disjoint ranges, so the Brownian-force
+// block must be bitwise-identical whatever the pool size.
+func TestApplyBlockExactAcrossThreadCounts(t *testing.T) {
+	a := bcrs.Random(bcrs.RandomOptions{NB: 1500, BlocksPerRow: 8, Seed: 3})
+	lo, hi := a.GershgorinInterval()
+	if lo <= 0 {
+		lo = 1e-3
+	}
+	op, err := NewSqrt(a, lo, hi, 20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m = 4
+	z := multivec.New(a.N(), m)
+	rng.New(5).FillNormal(z.Data)
+
+	run := func() []float64 {
+		y := multivec.New(a.N(), m)
+		op.ApplyBlock(y, z)
+		return y.Data
+	}
+	want := run() // serial pool
+	for _, threads := range []int{2, 4} {
+		parallel.SetThreads(threads)
+		got := run()
+		parallel.SetThreads(1)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("threads=%d: y[%d] = %x, serial %x", threads, i, got[i], want[i])
+			}
+		}
+	}
+}

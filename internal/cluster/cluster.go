@@ -203,6 +203,19 @@ func (nd *node) nnzb() int {
 // P returns the node count.
 func (c *Cluster) P() int { return c.p }
 
+// SetThreads sets the kernel thread count of every node's local
+// matrices. Node goroutines dispatch their row-strip multiplies
+// through the shared worker pool, so this controls how much intra-node
+// parallelism each strip exposes on top of the node-level concurrency.
+func (c *Cluster) SetThreads(t int) {
+	for _, nd := range c.nodes {
+		nd.interior.SetThreads(t)
+		if nd.boundary != nil {
+			nd.boundary.SetThreads(t)
+		}
+	}
+}
+
 // N returns the global scalar dimension. Together with MulVec and Mul
 // it lets the cluster stand in for a matrix wherever the solvers
 // accept an operator, so the same CG/block-CG code runs distributed —

@@ -4,6 +4,7 @@ import (
 	"repro/internal/bcrs"
 	"repro/internal/blas"
 	"repro/internal/neighbor"
+	"repro/internal/parallel"
 	"repro/internal/particles"
 )
 
@@ -109,27 +110,57 @@ func BuildWithList(sys *particles.System, opt Options, list *neighbor.List) *bcr
 	})
 }
 
-// assemble builds the matrix from any pair source.
+// pairGrain is the minimum pairs per parallel chunk in assembly: each
+// pair costs two resistance-function evaluations, so chunks this size
+// comfortably amortize a dispatch.
+const pairGrain = 256
+
+// assemble builds the matrix from any pair source in three phases:
+// collect the pairs (serial — the source order defines the matrix
+// build order), evaluate the lubrication tensors (parallel — each
+// pair writes its own slot), and insert the blocks (serial, in pair
+// order). Because insertion order never depends on the thread count,
+// the assembled matrix is bitwise-identical for any pool size.
 func assemble(sys *particles.System, opt Options, forEach func(func(neighbor.Pair))) *bcrs.Matrix {
 	b := bcrs.NewBuilder(sys.N)
 	b.AddDiagScaled(FarFieldCoefficients(sys, opt))
+
+	var pairs []neighbor.Pair
 	forEach(func(p neighbor.Pair) {
-		a1, a2 := sys.Radius[p.I], sys.Radius[p.J]
-		xi := 2 * (p.R - a1 - a2) / (a1 + a2)
-		if xi >= opt.CutoffXi || p.R <= 0 {
-			return
+		pairs = append(pairs, p)
+	})
+
+	tens := make([]blas.Mat3, len(pairs))
+	keep := make([]bool, len(pairs))
+	parallel.Default().ForOp("hydro_pair_tensors", len(pairs), pairGrain, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			p := pairs[k]
+			a1, a2 := sys.Radius[p.I], sys.Radius[p.J]
+			xi := 2 * (p.R - a1 - a2) / (a1 + a2)
+			if xi >= opt.CutoffXi || p.R <= 0 {
+				continue
+			}
+			d := p.D.Scale(1 / p.R)
+			a := PairTensor(a1, a2, xi, d, opt)
+			if a.Zero3() {
+				continue
+			}
+			tens[k] = a
+			keep[k] = true
 		}
-		d := p.D.Scale(1 / p.R)
-		a := PairTensor(a1, a2, xi, d, opt)
-		if a.Zero3() {
-			return
+	})
+
+	for k, p := range pairs {
+		if !keep[k] {
+			continue
 		}
+		a := tens[k]
 		neg := a.ScaleM(-1)
 		b.AddBlock(p.I, p.I, a)
 		b.AddBlock(p.J, p.J, a)
 		b.AddBlock(p.I, p.J, neg)
 		b.AddBlock(p.J, p.I, neg)
-	})
+	}
 	return b.Build()
 }
 

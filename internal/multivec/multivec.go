@@ -16,9 +16,26 @@ package multivec
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/blas"
+	"repro/internal/parallel"
 )
+
+// elemGrain is the minimum number of scalar elements a parallel chunk
+// must hold: below this the dispatch overhead exceeds the streaming
+// work. Row-blocked ops convert it with rowGrain.
+const elemGrain = 8192
+
+// rowGrain returns the minimum rows per chunk for an op touching m
+// scalars per row.
+func rowGrain(m int) int {
+	g := elemGrain / m
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
 
 // MultiVec is an n-by-m block of column vectors stored row-major:
 // element (i, j) — component i of vector j — lives at Data[i*M+j].
@@ -137,9 +154,13 @@ func (v *MultiVec) Zero() {
 	}
 }
 
-// Scale multiplies every entry by s.
+// Scale multiplies every entry by s. Chunks write disjoint ranges, so
+// the result is bitwise-identical for any thread count.
 func (v *MultiVec) Scale(s float64) {
-	blas.Scal(s, v.Data)
+	data := v.Data
+	parallel.Default().ForOp("multivec_scale", len(data), elemGrain, func(lo, hi int) {
+		blas.Scal(s, data[lo:hi])
+	})
 }
 
 // Sub computes v = a - b elementwise. All three must have identical
@@ -148,7 +169,10 @@ func (v *MultiVec) Sub(a, b *MultiVec) {
 	if v.N != a.N || v.M != a.M || a.N != b.N || a.M != b.M {
 		panic("multivec: Sub dimension mismatch")
 	}
-	blas.Sub(v.Data, a.Data, b.Data)
+	dst, x, y := v.Data, a.Data, b.Data
+	parallel.Default().ForOp("multivec_sub", len(dst), elemGrain, func(lo, hi int) {
+		blas.Sub(dst[lo:hi], x[lo:hi], y[lo:hi])
+	})
 }
 
 // Add computes v = a + b elementwise, with the same aliasing rules as
@@ -157,23 +181,34 @@ func (v *MultiVec) Add(a, b *MultiVec) {
 	if v.N != a.N || v.M != a.M || a.N != b.N || a.M != b.M {
 		panic("multivec: Add dimension mismatch")
 	}
-	blas.Add(v.Data, a.Data, b.Data)
+	dst, x, y := v.Data, a.Data, b.Data
+	parallel.Default().ForOp("multivec_add", len(dst), elemGrain, func(lo, hi int) {
+		blas.Add(dst[lo:hi], x[lo:hi], y[lo:hi])
+	})
 }
 
 // AddMul computes v += x * a, where a is a small x.M-by-v.M dense
 // matrix. This is the block-CG update X += P*alpha. x must not alias
-// v.
+// v. Rows are written disjointly, so the result is bitwise-identical
+// for any thread count.
 func (v *MultiVec) AddMul(x *MultiVec, a *blas.Dense) {
 	if x.N != v.N || a.Rows != x.M || a.Cols != v.M {
 		panic("multivec: AddMul dimension mismatch")
 	}
 	addMulCalls.Inc()
 	addMulFlops.Add(2 * int64(v.N) * int64(x.M) * int64(v.M))
+	parallel.Default().ForOp("multivec_addmul", v.N, rowGrain(v.M), func(lo, hi int) {
+		addMulRange(v, x, a, lo, hi)
+	})
+}
+
+// addMulRange applies the AddMul update to rows [lo, hi).
+func addMulRange(v, x *MultiVec, a *blas.Dense, lo, hi int) {
 	mx, mv := x.M, v.M
-	if mx == mv && addMulFixed(v.Data, x.Data, a.Data, v.N, mv) {
+	if mx == mv && addMulFixed(v.Data, x.Data, a.Data, lo, hi, mv) {
 		return
 	}
-	for i := 0; i < v.N; i++ {
+	for i := lo; i < hi; i++ {
 		xr := x.Data[i*mx : i*mx+mx : i*mx+mx]
 		vr := v.Data[i*mv : i*mv+mv : i*mv+mv]
 		for k, xv := range xr {
@@ -193,11 +228,18 @@ func (v *MultiVec) SetMulAdd(r, p *MultiVec, b *blas.Dense) {
 	}
 	setMulAddCalls.Inc()
 	setMulAddFlops.Add(2 * int64(v.N) * int64(p.M) * int64(v.M))
+	parallel.Default().ForOp("multivec_setmuladd", v.N, rowGrain(v.M), func(lo, hi int) {
+		setMulAddRange(v, r, p, b, lo, hi)
+	})
+}
+
+// setMulAddRange applies the SetMulAdd update to rows [lo, hi).
+func setMulAddRange(v, r, p *MultiVec, b *blas.Dense, lo, hi int) {
 	mp, mv := p.M, v.M
-	if mp == mv && setMulAddFixed(v.Data, r.Data, p.Data, b.Data, v.N, mv) {
+	if mp == mv && setMulAddFixed(v.Data, r.Data, p.Data, b.Data, lo, hi, mv) {
 		return
 	}
-	for i := 0; i < v.N; i++ {
+	for i := lo; i < hi; i++ {
 		vr := v.Data[i*mv : i*mv+mv : i*mv+mv]
 		copy(vr, r.Data[i*mv:i*mv+mv])
 		pr := p.Data[i*mp : i*mp+mp : i*mp+mp]
@@ -213,40 +255,110 @@ func (v *MultiVec) SetMulAdd(r, p *MultiVec, b *blas.Dense) {
 // Gram returns the small x.M-by-y.M matrix X^T * Y. The inputs must
 // have the same row count.
 func Gram(x, y *MultiVec) *blas.Dense {
-	if x.N != y.N {
+	g := blas.NewDense(x.M, y.M)
+	GramInto(g, x, y)
+	return g
+}
+
+// GramInto computes g = X^T * Y without allocating, so block-CG can
+// reuse one scratch matrix across iterations. g must be x.M-by-y.M
+// and is overwritten. The reduction is blocked over fixed row chunks
+// with an ordered combine, so the result is bitwise-identical across
+// runs with the same thread count.
+func GramInto(g *blas.Dense, x, y *MultiVec) {
+	if x.N != y.N || g.Rows != x.M || g.Cols != y.M {
 		panic("multivec: Gram dimension mismatch")
 	}
 	gramCalls.Inc()
 	gramFlops.Add(2 * int64(x.N) * int64(x.M) * int64(y.M))
-	g := blas.NewDense(x.M, y.M)
-	mx, my := x.M, y.M
-	if mx == my && gramFixed(g.Data, x.Data, y.Data, x.N, my) {
-		return g
+	for i := range g.Data {
+		g.Data[i] = 0
 	}
-	for i := 0; i < x.N; i++ {
+	pool := parallel.Default()
+	grain := rowGrain(x.M)
+	if !pool.Parallel(x.N, grain) {
+		gramRange(g.Data, x, y, 0, x.N)
+		return
+	}
+	t0 := time.Now()
+	part := parallel.Reduce(pool, x.N, grain, func(lo, hi int) []float64 {
+		buf := make([]float64, len(g.Data))
+		gramRange(buf, x, y, lo, hi)
+		return buf
+	}, func(acc, part []float64) []float64 {
+		blas.Axpy(1, part, acc)
+		return acc
+	})
+	copy(g.Data, part)
+	parallel.RecordOp("multivec_gram", time.Since(t0).Seconds())
+}
+
+// gramRange accumulates rows [lo, hi) of the Gram product into g.
+func gramRange(g []float64, x, y *MultiVec, lo, hi int) {
+	mx, my := x.M, y.M
+	if mx == my && gramFixed(g, x.Data, y.Data, lo, hi, my) {
+		return
+	}
+	for i := lo; i < hi; i++ {
 		xr := x.Data[i*mx : i*mx+mx : i*mx+mx]
 		yr := y.Data[i*my : i*my+my : i*my+my]
 		for a, xv := range xr {
-			gr := g.Data[a*my : a*my+my : a*my+my]
+			gr := g[a*my : a*my+my : a*my+my]
 			for b, yv := range yr {
 				gr[b] += xv * yv
 			}
 		}
 	}
-	return g
 }
 
 // ColNorms returns the Euclidean norm of each column.
 func (v *MultiVec) ColNorms() []float64 {
-	sums := make([]float64, v.M)
-	for i := 0; i < v.N; i++ {
+	dst := make([]float64, v.M)
+	v.ColNormsInto(dst)
+	return dst
+}
+
+// ColNormsInto writes the Euclidean norm of each column into dst
+// (length M) without allocating on the serial path. Like GramInto the
+// blocked sum combines in fixed chunk order, so results are
+// bitwise-identical for a fixed thread count.
+func (v *MultiVec) ColNormsInto(dst []float64) {
+	if len(dst) != v.M {
+		panic("multivec: ColNormsInto length mismatch")
+	}
+	m := v.M
+	pool := parallel.Default()
+	grain := rowGrain(m)
+	sums := dst
+	if pool.Parallel(v.N, grain) {
+		t0 := time.Now()
+		sums = parallel.Reduce(pool, v.N, grain, func(lo, hi int) []float64 {
+			buf := make([]float64, m)
+			colSumSquares(buf, v, lo, hi)
+			return buf
+		}, func(acc, part []float64) []float64 {
+			blas.Axpy(1, part, acc)
+			return acc
+		})
+		parallel.RecordOp("multivec_colnorms", time.Since(t0).Seconds())
+	} else {
+		for j := range sums {
+			sums[j] = 0
+		}
+		colSumSquares(sums, v, 0, v.N)
+	}
+	for j := range dst {
+		dst[j] = math.Sqrt(sums[j])
+	}
+}
+
+// colSumSquares accumulates per-column sums of squares over rows
+// [lo, hi) into sums.
+func colSumSquares(sums []float64, v *MultiVec, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		r := v.Row(i)
 		for j, x := range r {
 			sums[j] += x * x
 		}
 	}
-	for j := range sums {
-		sums[j] = math.Sqrt(sums[j])
-	}
-	return sums
 }

@@ -7,21 +7,21 @@ package multivec
 // inner loop and drop bounds checks. The generic paths remain the
 // fallback for other m.
 
-func addMulFixed(vdata, xdata, a []float64, rows, m int) bool {
+func addMulFixed(vdata, xdata, a []float64, lo, hi, m int) bool {
 	switch m {
 	case 8:
-		addMul8(vdata, xdata, a, rows)
+		addMul8(vdata, xdata, a, lo, hi)
 	case 16:
-		addMul16(vdata, xdata, a, rows)
+		addMul16(vdata, xdata, a, lo, hi)
 	default:
 		return false
 	}
 	return true
 }
 
-func addMul8(vdata, xdata, a []float64, rows int) {
+func addMul8(vdata, xdata, a []float64, lo, hi int) {
 	const m = 8
-	for i := 0; i < rows; i++ {
+	for i := lo; i < hi; i++ {
 		vr := vdata[i*m : i*m+m : i*m+m]
 		xr := xdata[i*m : i*m+m : i*m+m]
 		for k, xv := range xr {
@@ -33,9 +33,9 @@ func addMul8(vdata, xdata, a []float64, rows int) {
 	}
 }
 
-func addMul16(vdata, xdata, a []float64, rows int) {
+func addMul16(vdata, xdata, a []float64, lo, hi int) {
 	const m = 16
-	for i := 0; i < rows; i++ {
+	for i := lo; i < hi; i++ {
 		vr := vdata[i*m : i*m+m : i*m+m]
 		xr := xdata[i*m : i*m+m : i*m+m]
 		for k, xv := range xr {
@@ -47,21 +47,21 @@ func addMul16(vdata, xdata, a []float64, rows int) {
 	}
 }
 
-func gramFixed(g, xdata, ydata []float64, rows, m int) bool {
+func gramFixed(g, xdata, ydata []float64, lo, hi, m int) bool {
 	switch m {
 	case 8:
-		gram8(g, xdata, ydata, rows)
+		gram8(g, xdata, ydata, lo, hi)
 	case 16:
-		gram16(g, xdata, ydata, rows)
+		gram16(g, xdata, ydata, lo, hi)
 	default:
 		return false
 	}
 	return true
 }
 
-func gram8(g, xdata, ydata []float64, rows int) {
+func gram8(g, xdata, ydata []float64, lo, hi int) {
 	const m = 8
-	for i := 0; i < rows; i++ {
+	for i := lo; i < hi; i++ {
 		xr := xdata[i*m : i*m+m : i*m+m]
 		yr := ydata[i*m : i*m+m : i*m+m]
 		for a, xv := range xr {
@@ -73,9 +73,9 @@ func gram8(g, xdata, ydata []float64, rows int) {
 	}
 }
 
-func gram16(g, xdata, ydata []float64, rows int) {
+func gram16(g, xdata, ydata []float64, lo, hi int) {
 	const m = 16
-	for i := 0; i < rows; i++ {
+	for i := lo; i < hi; i++ {
 		xr := xdata[i*m : i*m+m : i*m+m]
 		yr := ydata[i*m : i*m+m : i*m+m]
 		for a, xv := range xr {
@@ -87,21 +87,21 @@ func gram16(g, xdata, ydata []float64, rows int) {
 	}
 }
 
-func setMulAddFixed(vdata, rdata, pdata, b []float64, rows, m int) bool {
+func setMulAddFixed(vdata, rdata, pdata, b []float64, lo, hi, m int) bool {
 	switch m {
 	case 8:
-		setMulAdd8(vdata, rdata, pdata, b, rows)
+		setMulAdd8(vdata, rdata, pdata, b, lo, hi)
 	case 16:
-		setMulAdd16(vdata, rdata, pdata, b, rows)
+		setMulAdd16(vdata, rdata, pdata, b, lo, hi)
 	default:
 		return false
 	}
 	return true
 }
 
-func setMulAdd8(vdata, rdata, pdata, b []float64, rows int) {
+func setMulAdd8(vdata, rdata, pdata, b []float64, lo, hi int) {
 	const m = 8
-	for i := 0; i < rows; i++ {
+	for i := lo; i < hi; i++ {
 		vr := vdata[i*m : i*m+m : i*m+m]
 		copy(vr, rdata[i*m:i*m+m])
 		pr := pdata[i*m : i*m+m : i*m+m]
@@ -114,9 +114,9 @@ func setMulAdd8(vdata, rdata, pdata, b []float64, rows int) {
 	}
 }
 
-func setMulAdd16(vdata, rdata, pdata, b []float64, rows int) {
+func setMulAdd16(vdata, rdata, pdata, b []float64, lo, hi int) {
 	const m = 16
-	for i := 0; i < rows; i++ {
+	for i := lo; i < hi; i++ {
 		vr := vdata[i*m : i*m+m : i*m+m]
 		copy(vr, rdata[i*m:i*m+m])
 		pr := pdata[i*m : i*m+m : i*m+m]

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/blas"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 )
 
 // List observability: the rebuild/reuse split determines how well the
@@ -34,6 +35,11 @@ type List struct {
 	// candidates are the pairs within cutoff+skin of the reference
 	// configuration; indices only — geometry is recomputed per query.
 	candidates [][2]int32
+
+	// scratch for the parallel candidate filter, reused across queries:
+	// the minimum-image displacement and squared distance per candidate.
+	scratchD  []blas.Vec3
+	scratchR2 []float64
 
 	// Rebuilds and Reuses count list constructions and avoided ones,
 	// for tests and instrumentation.
@@ -65,13 +71,20 @@ func (l *List) valid(pos []blas.Vec3) bool {
 	}
 	limit := l.skin / 2
 	limit2 := limit * limit
-	for i, p := range pos {
-		d := MinImage(Wrap(p, l.box).Sub(Wrap(l.refPos[i], l.box)), l.box)
-		if d.Dot(d) >= limit2 {
-			return false
+	// Blocked OR-reduction: each chunk reports whether any of its
+	// particles drifted past the limit. The combine is order-
+	// insensitive for booleans, so the verdict is identical for any
+	// thread count.
+	drifted := parallel.Reduce(parallel.Default(), len(pos), binGrain, func(lo, hi int) bool {
+		for i := lo; i < hi; i++ {
+			d := MinImage(Wrap(pos[i], l.box).Sub(Wrap(l.refPos[i], l.box)), l.box)
+			if d.Dot(d) >= limit2 {
+				return true
+			}
 		}
-	}
-	return true
+		return false
+	}, func(a, b bool) bool { return a || b })
+	return !drifted
 }
 
 // rebuild refreshes the candidate set from pos.
@@ -96,11 +109,26 @@ func (l *List) ForEach(pos []blas.Vec3, fn func(Pair)) {
 		obsReuses.Inc()
 	}
 	cutoff2 := l.cutoff * l.cutoff
-	for _, c := range l.candidates {
-		i, j := int(c[0]), int(c[1])
-		d := MinImage(Wrap(pos[j], l.box).Sub(Wrap(pos[i], l.box)), l.box)
-		if r2 := d.Dot(d); r2 < cutoff2 {
-			fn(Pair{I: i, J: j, D: d, R: math.Sqrt(r2)})
+	nc := len(l.candidates)
+	if cap(l.scratchD) < nc {
+		l.scratchD = make([]blas.Vec3, nc)
+		l.scratchR2 = make([]float64, nc)
+	}
+	dist, r2s := l.scratchD[:nc], l.scratchR2[:nc]
+	// Geometry in parallel (disjoint writes per candidate), emission
+	// serial in candidate order — callers see the same pair sequence
+	// regardless of thread count.
+	parallel.Default().ForOp("neighbor_filter", nc, binGrain, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			c := l.candidates[k]
+			d := MinImage(Wrap(pos[c[1]], l.box).Sub(Wrap(pos[c[0]], l.box)), l.box)
+			dist[k] = d
+			r2s[k] = d.Dot(d)
+		}
+	})
+	for k, c := range l.candidates {
+		if r2 := r2s[k]; r2 < cutoff2 {
+			fn(Pair{I: int(c[0]), J: int(c[1]), D: dist[k], R: math.Sqrt(r2)})
 		}
 	}
 }

@@ -17,7 +17,13 @@ import (
 	"sort"
 
 	"repro/internal/blas"
+	"repro/internal/parallel"
 )
+
+// binGrain is the minimum particles (or candidate pairs) per parallel
+// chunk in the geometry passes: each element costs a few dozen flops,
+// so smaller chunks would be dominated by dispatch overhead.
+const binGrain = 2048
 
 // Pair is an interacting particle pair with i < j, the minimum-image
 // displacement D = pos[j] - pos[i], and its length R.
@@ -91,14 +97,21 @@ func ForEachPair(pos []blas.Vec3, box, cutoff float64, fn func(Pair)) {
 	cellOf := make([]int, n)
 	counts := make([]int, g*g*g+1)
 	idx := func(ix, iy, iz int) int { return (ix*g+iy)*g + iz }
-	for i, p := range pos {
-		w := Wrap(p, box)
-		wrapped[i] = w
-		ix := clamp(int(w[0]/cell), g)
-		iy := clamp(int(w[1]/cell), g)
-		iz := clamp(int(w[2]/cell), g)
-		c := idx(ix, iy, iz)
-		cellOf[i] = c
+	// Binning: each particle's wrap and cell index are independent, so
+	// the pass parallelizes with disjoint writes; the histogram and
+	// prefix sum stay serial, so cell membership order — and therefore
+	// the pair visit order — never depends on the thread count.
+	parallel.Default().ForOp("neighbor_bin", n, binGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			w := Wrap(pos[i], box)
+			wrapped[i] = w
+			ix := clamp(int(w[0]/cell), g)
+			iy := clamp(int(w[1]/cell), g)
+			iz := clamp(int(w[2]/cell), g)
+			cellOf[i] = idx(ix, iy, iz)
+		}
+	})
+	for _, c := range cellOf {
 		counts[c+1]++
 	}
 	for c := 0; c < g*g*g; c++ {

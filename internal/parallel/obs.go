@@ -1,0 +1,40 @@
+package parallel
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Pool observability: dispatch volume, the serial-fallback share, how
+// long workers sit parked, and per-op parallel wall seconds. A step
+// that fails to scale shows up here as either a high serial share
+// (regions too small to split) or high idle time (load imbalance or
+// not enough exposed work).
+var (
+	obsJobs        = obs.Default.Counter("parallel_jobs_total")
+	obsSerial      = obs.Default.Counter("parallel_serial_jobs_total")
+	obsChunks      = obs.Default.Counter("parallel_chunks_total")
+	obsIdleSeconds = obs.Default.FloatCounter("parallel_worker_idle_seconds_total")
+	obsThreads     = obs.Default.Gauge("parallel_pool_threads")
+)
+
+// opSecondsCache memoizes the labeled FloatCounter handles so the hot
+// path pays one sync.Map load instead of a registry lookup.
+var opSecondsCache sync.Map // op string -> *obs.FloatCounter
+
+func opSeconds(op string) *obs.FloatCounter {
+	if c, ok := opSecondsCache.Load(op); ok {
+		return c.(*obs.FloatCounter)
+	}
+	c := obs.Default.FloatCounter(obs.Label("parallel_op_seconds_total", "op", op))
+	opSecondsCache.Store(op, c)
+	return c
+}
+
+// RecordOp accumulates seconds into the per-op parallel time counter.
+// Callers that drive Reduce (which carries no op label) use it to keep
+// their reductions visible alongside the ForOp/DoOp entries.
+func RecordOp(op string, seconds float64) {
+	opSeconds(op).Add(seconds)
+}

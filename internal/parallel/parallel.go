@@ -1,0 +1,336 @@
+// Package parallel is the shared parallel runtime of the MRHS stack:
+// a dependency-free, persistent worker pool with a blocked
+// parallel-for and a deterministic blocked reduction.
+//
+// The paper's GSPMV amortizes matrix traffic across m right-hand
+// sides, which moves the bottleneck of an SD step onto everything
+// around the sparse multiply — the block-CG Gram and update
+// operations, the Chebyshev recurrence, matrix assembly, and neighbor
+// binning. All of those are driven through this package so one
+// threads knob scales the whole step, not just the kernel
+// (Krasnopolsky's MRHS-BiCGStab study makes the same point: once the
+// matvec is traffic-optimal, the vector ops dominate).
+//
+// Determinism contract. Results must be bitwise-identical across runs
+// with the same thread count, because the fault-tolerance layer
+// validates crash recovery by comparing trajectory checksums of a
+// replayed run against a clean one. Two rules deliver that:
+//
+//  1. Chunk boundaries are a pure function of (n, grain, pool
+//     threads) — never of load, timing, or which worker runs a chunk.
+//  2. Reduce stores one partial per chunk and folds them sequentially
+//     in ascending chunk order after the parallel phase.
+//
+// Operations with disjoint writes (parallel-for over distinct output
+// ranges) are bitwise-identical across *any* thread count; reductions
+// are bitwise-identical for a *fixed* thread count (the combine order
+// changes with the partition, as in any blocked summation).
+//
+// Scheduling. A Pool with t threads keeps t-1 persistent workers
+// parked on a channel; For/Do/Reduce enqueue a job, wake up to t-1
+// helpers without blocking, and the calling goroutine participates
+// until the chunk queue drains. The caller always makes progress on
+// its own job, so nested and concurrent dispatch (e.g. simulated
+// cluster nodes multiplying their row strips at once) cannot
+// deadlock, and a pool with t = 1 runs everything inline with zero
+// overhead — the serial fallback path.
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// overPartition is how many chunks each thread gets (load-balance
+// slack for skewed work); chunk boundaries stay a pure function of
+// (n, grain, threads).
+const overPartition = 4
+
+// Pool is a fixed-size team of persistent workers. The zero value is
+// not usable; create pools with NewPool. Pools are immutable: the
+// thread count is fixed at construction, which is what keeps chunk
+// plans deterministic.
+type Pool struct {
+	threads int
+	workers int // threads-1 persistent goroutines
+	jobs    chan *job
+	stop    chan struct{}
+	once    sync.Once
+}
+
+// job is one For/Do/Reduce dispatch: a fixed number of chunks claimed
+// by atomic increment. Which goroutine runs a chunk is scheduling
+// noise; the chunk boundaries and the combine order are not.
+type job struct {
+	run  func(chunk int)
+	n    int32
+	next atomic.Int32
+	wg   sync.WaitGroup
+
+	panicOnce sync.Once
+	panicVal  any
+	panicked  atomic.Bool
+}
+
+// NewPool creates a pool that runs parallel regions on up to threads
+// goroutines (the caller plus threads-1 persistent workers). threads
+// < 1 is treated as 1, which yields a pool that runs everything
+// inline.
+func NewPool(threads int) *Pool {
+	if threads < 1 {
+		threads = 1
+	}
+	p := &Pool{threads: threads, workers: threads - 1}
+	if p.workers > 0 {
+		p.jobs = make(chan *job, p.workers)
+		p.stop = make(chan struct{})
+		for i := 0; i < p.workers; i++ {
+			go p.worker()
+		}
+	}
+	return p
+}
+
+// Threads returns the pool's thread count (caller + workers).
+func (p *Pool) Threads() int { return p.threads }
+
+// Close releases the pool's workers. In-flight jobs finish; the
+// caller side of any concurrent dispatch completes its own chunks, so
+// closing a pool that is still in use is safe, only slower. Closing
+// twice is a no-op.
+func (p *Pool) Close() {
+	p.once.Do(func() {
+		if p.stop != nil {
+			close(p.stop)
+		}
+	})
+}
+
+func (p *Pool) worker() {
+	for {
+		t0 := time.Now()
+		select {
+		case j := <-p.jobs:
+			obsIdleSeconds.Add(time.Since(t0).Seconds())
+			j.help()
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// help claims chunks until the job's queue is exhausted.
+func (j *job) help() {
+	for {
+		i := int(j.next.Add(1)) - 1
+		if i >= int(j.n) {
+			return
+		}
+		j.runChunk(i)
+	}
+}
+
+// runChunk executes one chunk, capturing the first panic so it can be
+// re-thrown on the dispatching goroutine — fault panics (the
+// *faults.Error of the simulated transport) must unwind through the
+// caller to the recovery machinery, not kill a worker.
+func (j *job) runChunk(i int) {
+	defer j.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			j.panicOnce.Do(func() {
+				j.panicVal = r
+				j.panicked.Store(true)
+			})
+		}
+	}()
+	j.run(i)
+}
+
+// dispatch fans k chunks out over the pool and the calling goroutine,
+// returning when all k have completed. k must be >= 2.
+func (p *Pool) dispatch(k int, run func(chunk int)) {
+	j := &job{run: run, n: int32(k)}
+	j.wg.Add(k)
+
+	// Wake up to min(workers, k-1) parked workers. Sends never block:
+	// if every worker is busy the caller simply does more of the work
+	// itself, which is both deadlock-free and load-adaptive.
+	helpers := p.workers
+	if helpers > k-1 {
+		helpers = k - 1
+	}
+wake:
+	for i := 0; i < helpers; i++ {
+		select {
+		case p.jobs <- j:
+		default:
+			break wake
+		}
+	}
+
+	j.help()
+	j.wg.Wait()
+	obsJobs.Inc()
+	obsChunks.Add(int64(k))
+	if j.panicked.Load() {
+		panic(j.panicVal)
+	}
+}
+
+// chunkCount returns the number of chunks a blocked region of n
+// elements with the given minimum grain splits into — a pure function
+// of (n, grain, threads), which is the determinism contract.
+func (p *Pool) chunkCount(n, grain int) int {
+	if p.threads <= 1 || n <= 0 {
+		return 1
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	k := n / grain // every chunk holds at least grain elements
+	if max := p.threads * overPartition; k > max {
+		k = max
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// chunkBounds returns the half-open range of chunk c of k over [0, n).
+func chunkBounds(n, k, c int) (lo, hi int) {
+	return n * c / k, n * (c + 1) / k
+}
+
+// Parallel reports whether a For/Reduce over n elements with the
+// given grain would actually split: callers use it to keep a
+// zero-allocation serial fast path.
+func (p *Pool) Parallel(n, grain int) bool {
+	return p.chunkCount(n, grain) > 1
+}
+
+// For runs fn over the fixed blocked partition of [0, n); each chunk
+// holds at least grain elements (grain < 1 means 1). fn must be safe
+// to call concurrently on disjoint ranges. When the region does not
+// split (serial pool, or n <= grain), fn(0, n) runs inline — the
+// exact serial path.
+func (p *Pool) For(n, grain int, fn func(lo, hi int)) {
+	p.ForOp("", n, grain, fn)
+}
+
+// ForOp is For with an operation label: the wall time of parallel
+// dispatches is accumulated into parallel_op_seconds_total{op="..."},
+// giving a per-op view of where the pool's time goes.
+func (p *Pool) ForOp(op string, n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	k := p.chunkCount(n, grain)
+	if k <= 1 {
+		obsSerial.Inc()
+		fn(0, n)
+		return
+	}
+	t0 := time.Now()
+	p.dispatch(k, func(c int) {
+		lo, hi := chunkBounds(n, k, c)
+		fn(lo, hi)
+	})
+	if op != "" {
+		opSeconds(op).Add(time.Since(t0).Seconds())
+	}
+}
+
+// Do runs fn(i) for every i in [0, k), distributing the k tasks over
+// the pool. It is the dispatch surface for pre-partitioned work such
+// as the nnz-balanced block-row ranges of a BCRS matrix. Tasks must
+// write disjoint outputs.
+func (p *Pool) Do(k int, fn func(i int)) {
+	p.DoOp("", k, fn)
+}
+
+// DoOp is Do with an operation label (see ForOp).
+func (p *Pool) DoOp(op string, k int, fn func(i int)) {
+	if k <= 0 {
+		return
+	}
+	if k == 1 || p.threads <= 1 {
+		obsSerial.Inc()
+		for i := 0; i < k; i++ {
+			fn(i)
+		}
+		return
+	}
+	t0 := time.Now()
+	p.dispatch(k, fn)
+	if op != "" {
+		opSeconds(op).Add(time.Since(t0).Seconds())
+	}
+}
+
+// Reduce computes a deterministic blocked reduction over [0, n): fn
+// produces one partial per fixed chunk, and combine folds the
+// partials sequentially in ascending chunk order, so the result is
+// bitwise-identical across runs with the same thread count. combine
+// may mutate and return acc. When the region does not split, the
+// result is exactly fn(0, n) — the serial path, with no combine.
+func Reduce[T any](p *Pool, n, grain int, fn func(lo, hi int) T, combine func(acc, part T) T) T {
+	if n <= 0 {
+		var zero T
+		return zero
+	}
+	k := p.chunkCount(n, grain)
+	if k <= 1 {
+		obsSerial.Inc()
+		return fn(0, n)
+	}
+	parts := make([]T, k)
+	p.dispatch(k, func(c int) {
+		lo, hi := chunkBounds(n, k, c)
+		parts[c] = fn(lo, hi)
+	})
+	acc := parts[0]
+	for _, part := range parts[1:] {
+		acc = combine(acc, part)
+	}
+	return acc
+}
+
+// defaultPool holds the process-wide pool the instrumented packages
+// dispatch through. It starts serial (1 thread) so that, absent the
+// knob, every code path behaves exactly as the un-pooled code did.
+var defaultPool atomic.Pointer[Pool]
+
+func init() {
+	defaultPool.Store(NewPool(1))
+	obsThreads.Set(1)
+}
+
+// Default returns the current process-wide pool. Callers that issue
+// several related dispatches should capture the pool once so an
+// intervening SetThreads cannot change the chunk plan mid-operation.
+func Default() *Pool {
+	return defaultPool.Load()
+}
+
+// SetThreads resizes the process-wide pool. This is the single
+// threads knob of the runtime: sd.Conf, the cluster wrapper, and the
+// command-line flags all funnel here. Setting the current count is a
+// no-op; otherwise the old pool is closed (in-flight work completes)
+// and a fresh pool takes its place.
+func SetThreads(t int) {
+	if t < 1 {
+		t = 1
+	}
+	if defaultPool.Load().threads == t {
+		return
+	}
+	old := defaultPool.Swap(NewPool(t))
+	obsThreads.Set(float64(t))
+	old.Close()
+}
+
+// Threads returns the process-wide pool's thread count.
+func Threads() int { return Default().threads }

@@ -1,0 +1,221 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, threads := range []int{1, 2, 3, 8} {
+		p := NewPool(threads)
+		for _, n := range []int{0, 1, 5, 100, 4097} {
+			hits := make([]int32, n)
+			p.For(n, 16, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("threads=%d n=%d: index %d visited %d times", threads, n, i, h)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestForGrainKeepsChunksLargeEnough(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var mu sync.Mutex
+	var sizes []int
+	p.For(1000, 300, func(lo, hi int) {
+		mu.Lock()
+		sizes = append(sizes, hi-lo)
+		mu.Unlock()
+	})
+	if len(sizes) > 3 { // ceil(1000/300) = 4 would under-fill; cap is 3
+		t.Fatalf("got %d chunks for n=1000 grain=300, want <= 3", len(sizes))
+	}
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != 1000 {
+		t.Fatalf("chunks cover %d elements, want 1000", total)
+	}
+}
+
+func TestDoRunsEveryTask(t *testing.T) {
+	for _, threads := range []int{1, 2, 5} {
+		p := NewPool(threads)
+		for _, k := range []int{0, 1, 3, 64} {
+			hits := make([]int32, k)
+			p.Do(k, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("threads=%d k=%d: task %d ran %d times", threads, k, i, h)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestReduceMatchesSerialSum(t *testing.T) {
+	n := 10000
+	xs := make([]float64, n)
+	var want float64
+	for i := range xs {
+		xs[i] = float64(i%7) * 0.125 // exactly representable: order-independent
+		want += xs[i]
+	}
+	for _, threads := range []int{1, 2, 4} {
+		p := NewPool(threads)
+		got := Reduce(p, n, 64, func(lo, hi int) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += xs[i]
+			}
+			return s
+		}, func(a, b float64) float64 { return a + b })
+		if got != want {
+			t.Fatalf("threads=%d: reduce got %v want %v", threads, got, want)
+		}
+		p.Close()
+	}
+}
+
+// TestReduceBitwiseDeterministic is the determinism contract: for a
+// fixed thread count, repeated reductions over inputs whose sum is
+// order-sensitive in floating point must produce bitwise-identical
+// results, because chunk boundaries are fixed and the combine is
+// ordered.
+func TestReduceBitwiseDeterministic(t *testing.T) {
+	n := 50000
+	xs := make([]float64, n)
+	v := 1.0
+	for i := range xs {
+		v = v*1.0000001 + 1e-7
+		xs[i] = v
+	}
+	sum := func(p *Pool) float64 {
+		return Reduce(p, n, 128, func(lo, hi int) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += xs[i]
+			}
+			return s
+		}, func(a, b float64) float64 { return a + b })
+	}
+	p := NewPool(4)
+	defer p.Close()
+	first := sum(p)
+	for r := 0; r < 20; r++ {
+		if got := sum(p); got != first {
+			t.Fatalf("run %d: %x differs from first run %x", r, got, first)
+		}
+	}
+	// A second pool with the same thread count must agree too.
+	q := NewPool(4)
+	defer q.Close()
+	if got := sum(q); got != first {
+		t.Fatalf("fresh pool with same threads: %x != %x", got, first)
+	}
+}
+
+func TestReduceCombineOrder(t *testing.T) {
+	// Record the combine sequence with a non-commutative fold: the
+	// partials must arrive in ascending chunk order.
+	p := NewPool(3)
+	defer p.Close()
+	got := Reduce(p, 12, 1, func(lo, hi int) []int {
+		return []int{lo}
+	}, func(acc, part []int) []int { return append(acc, part...) })
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("combine saw chunk starts out of order: %v", got)
+		}
+	}
+}
+
+func TestPanicPropagatesToCaller(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want \"boom\"", r)
+		}
+	}()
+	p.For(1000, 1, func(lo, hi int) {
+		if lo == 0 {
+			panic("boom")
+		}
+	})
+	t.Fatal("For returned instead of panicking")
+}
+
+func TestConcurrentDispatchDoesNotDeadlock(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < 50; it++ {
+				p.For(257, 8, func(lo, hi int) {
+					total.Add(int64(hi - lo))
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := total.Load(); got != 8*50*257 {
+		t.Fatalf("covered %d elements, want %d", got, 8*50*257)
+	}
+}
+
+func TestSetThreadsSwapsDefaultPool(t *testing.T) {
+	t.Cleanup(func() { SetThreads(1) })
+	SetThreads(3)
+	if Threads() != 3 {
+		t.Fatalf("Threads() = %d after SetThreads(3)", Threads())
+	}
+	p := Default()
+	SetThreads(3) // same count: must be a no-op
+	if Default() != p {
+		t.Fatal("SetThreads with unchanged count replaced the pool")
+	}
+	SetThreads(2)
+	if Default() == p || Threads() != 2 {
+		t.Fatal("SetThreads(2) did not install a fresh pool")
+	}
+	// The old pool still works after being closed (caller-side runs).
+	var n atomic.Int64
+	p.For(100, 1, func(lo, hi int) { n.Add(int64(hi - lo)) })
+	if n.Load() != 100 {
+		t.Fatalf("closed pool covered %d elements, want 100", n.Load())
+	}
+}
+
+func TestSerialPoolRunsInline(t *testing.T) {
+	p := NewPool(1)
+	// With one thread everything must run on the calling goroutine in
+	// ascending order — the exact serial path.
+	var order []int
+	p.For(10, 1, func(lo, hi int) { order = append(order, lo) })
+	if len(order) != 1 || order[0] != 0 {
+		t.Fatalf("serial For split the range: %v", order)
+	}
+	order = order[:0]
+	p.Do(4, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial Do out of order: %v", order)
+		}
+	}
+}

@@ -13,10 +13,15 @@ import (
 	"repro/internal/partition"
 )
 
-// DistOptions extends NewDistributed with the fault-tolerance knobs.
+// DistOptions extends NewDistributed with the fault-tolerance and
+// threading knobs.
 type DistOptions struct {
 	// P is the simulated node count.
 	P int
+	// Threads is the worker-pool size shared by all layers of the
+	// step (0 or 1 means serial). Each per-step cluster's node
+	// matrices are set to the same count.
+	Threads int
 	// Faults, if non-nil, arms every per-step cluster with this
 	// injector; the injector is shared across clusters, so once-only
 	// rules (crash) fire once per run, not once per assembled matrix.
@@ -42,9 +47,12 @@ func NewDistributedOpts(sys *particles.System, opt hydro.Options, cfg core.Confi
 		if d.Faults != nil {
 			cl.SetFaults(d.Faults, d.Retry)
 		}
+		if d.Threads > 1 {
+			cl.SetThreads(d.Threads)
+		}
 		return cl
 	}
-	return &Simulation{Runner: core.NewRunner(NewConf(sys, opt, 1), cfg)}
+	return &Simulation{Runner: core.NewRunner(NewConf(sys, opt, d.Threads), cfg)}
 }
 
 // FileSnapshotter adapts internal/checkpoint to core.Snapshotter: the

@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hydro"
 	"repro/internal/neighbor"
+	"repro/internal/parallel"
 	"repro/internal/particles"
 )
 
@@ -36,7 +37,10 @@ type Conf struct {
 }
 
 // NewConf wraps a particle system. The hydro options' Phi is filled
-// from the system if unset.
+// from the system if unset. The thread count is also installed as the
+// process-wide worker-pool size, so one knob scales the whole step —
+// assembly, the solves' vector ops, and the Chebyshev recurrence, not
+// just the GSPMV kernels.
 func NewConf(sys *particles.System, opt hydro.Options, threads int) *Conf {
 	if opt.Phi == 0 {
 		opt.Phi = sys.Phi
@@ -44,6 +48,7 @@ func NewConf(sys *particles.System, opt hydro.Options, threads int) *Conf {
 	if threads < 1 {
 		threads = 1
 	}
+	parallel.SetThreads(threads)
 	opt = opt.WithDefaults()
 	cutoff := hydro.SearchCutoff(sys, opt)
 	return &Conf{

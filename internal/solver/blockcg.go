@@ -72,8 +72,11 @@ func BlockCG(a BlockOperator, x, b *multivec.MultiVec, opt Options) (stats Block
 			stats.ColumnConverged[j] = true
 		}
 	}
+	// rn is the per-iteration residual-norm scratch: the convergence
+	// check runs every iteration and must not allocate.
+	rn := make([]float64, m)
 	check := func() bool {
-		rn := r.ColNorms()
+		r.ColNormsInto(rn)
 		all := true
 		worst := 0.0
 		for j := range rn {
@@ -121,13 +124,19 @@ func BlockCG(a BlockOperator, x, b *multivec.MultiVec, opt Options) (stats Block
 	p := z.Clone()
 	s := multivec.New(n, m)
 	pNew := multivec.New(n, m)
-	ztr := multivec.Gram(z, r)
+	// The small m-by-m Gram products are recomputed every iteration;
+	// holding their storage across iterations keeps the inner loop
+	// allocation-free apart from the LU solves of the m-by-m systems.
+	ztr := blas.NewDense(m, m)
+	ztrNew := blas.NewDense(m, m)
+	pts := blas.NewDense(m, m)
+	multivec.GramInto(ztr, z, r)
 
 	for it := 0; it < opt.MaxIter; it++ {
 		a.Mul(s, p) // S = A*P: the one GSPMV per iteration
 		stats.MatMuls++
 
-		pts := multivec.Gram(p, s)
+		multivec.GramInto(pts, p, s)
 		alpha, ok := solveSmall(pts, ztr)
 		if !ok {
 			break // irrecoverable breakdown; return current iterate
@@ -146,12 +155,12 @@ func BlockCG(a BlockOperator, x, b *multivec.MultiVec, opt Options) (stats Block
 		}
 
 		applyPrecond()
-		ztrNew := multivec.Gram(z, r)
+		multivec.GramInto(ztrNew, z, r)
 		beta, ok := solveSmall(ztr, ztrNew)
 		if !ok {
 			break
 		}
-		ztr = ztrNew
+		ztr, ztrNew = ztrNew, ztr
 		// P <- Z + P*beta.
 		pNew.SetMulAdd(z, p, beta)
 		p, pNew = pNew, p

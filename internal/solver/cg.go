@@ -3,6 +3,7 @@ package solver
 import (
 	"repro/internal/bcrs"
 	"repro/internal/blas"
+	"repro/internal/parallel"
 )
 
 // Stats reports the outcome of an iterative solve.
@@ -116,9 +117,12 @@ func CG(a Operator, x, b []float64, opt Options) Stats {
 		rzNew := blas.Dot(r, z)
 		beta := rzNew / rz
 		rz = rzNew
-		for i := range p {
-			p[i] = z[i] + beta*p[i]
-		}
+		// Disjoint writes: bitwise-identical for any thread count.
+		parallel.Default().ForOp("cg_update", n, 8192, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				p[i] = z[i] + beta*p[i]
+			}
+		})
 	}
 	stats.Residual = rnorm / bnorm
 	return stats
