@@ -1,13 +1,15 @@
 GO ?= go
 
-.PHONY: ci vet build test race chaos serial bench bench-snapshot bench-scaling
+.PHONY: ci vet build test race chaos serial serve-smoke bench bench-snapshot bench-scaling bench-serve
 
 # ci is the gate: vet, build everything, the full test suite under
 # the race detector (the obs hot paths are lock-free and the worker
 # pool is the most concurrent code in the tree; -race is what
-# validates them), the seeded fault-injection suite, and one serial
-# pass with GOMAXPROCS=1 to prove nothing depends on real parallelism.
-ci: vet build race chaos serial
+# validates them), the seeded fault-injection suite, the serving
+# suite (batched-vs-unbatched bitwise equivalence, shedding,
+# cancellation, drain), and one serial pass with GOMAXPROCS=1 to
+# prove nothing depends on real parallelism.
+ci: vet build race chaos serve-smoke serial
 
 vet:
 	$(GO) vet ./...
@@ -43,6 +45,21 @@ bench:
 bench-snapshot: bench-scaling
 	BENCH_OBS_JSON=$(CURDIR)/BENCH_obs.json $(GO) test -run TestBenchObsSnapshot .
 	$(GO) run ./cmd/gspmv-bench -nb 10000 -m 1,2,4,8,16 -obs-json $(CURDIR)/BENCH_obs.json
+
+# serve-smoke runs the batching-server suite (engine + HTTP) under
+# -race: the dispatcher/submitter handoff and the drain path are the
+# concurrency-heavy parts, and the bitwise batched-vs-unbatched
+# equivalence test is the serving layer's core guarantee.
+serve-smoke:
+	$(GO) test -race -run 'TestServe' ./internal/serve/
+
+# bench-serve measures the batching server's operating curve — open-
+# loop Poisson load sweep against a sequential m=1 CG baseline — and
+# writes the BENCH_serve.json artifact (throughput, p50/p95/p99,
+# mean batch size, shed rate per load factor; "best" holds the
+# saturating-load acceptance numbers).
+bench-serve:
+	$(GO) run ./cmd/serve-bench -json $(CURDIR)/BENCH_serve.json
 
 # bench-scaling sweeps the worker-pool size over full MRHS steps and
 # writes BENCH_parallel.json: per-phase seconds, speedup, and parallel

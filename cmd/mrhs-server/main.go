@@ -1,0 +1,130 @@
+// Command mrhs-server runs the MRHS batching solve server: an HTTP
+// API that coalesces concurrent solve requests into multi-right-hand-
+// side batches sized to the specialized GSPMV kernels.
+//
+// The operator is either a synthetic SPD block matrix (-matrix random)
+// or an assembled Stokesian-dynamics resistance matrix (-matrix sd).
+//
+// Examples:
+//
+//	mrhs-server -addr :8707 -matrix random -nb 2000 -bpr 6
+//	mrhs-server -matrix sd -n 500 -phi 0.30 -mode fused
+//	curl -s localhost:8707/v1/solve -d '{"seed":1,"omit_x":true}'
+//
+// SIGINT/SIGTERM triggers a graceful drain: new requests get 503,
+// queued batches are flushed and answered, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/bcrs"
+	"repro/internal/hydro"
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/particles"
+	"repro/internal/perf"
+	"repro/internal/sd"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", ":8707", "listen address for the solve API")
+
+		matrix = flag.String("matrix", "random", "operator source: random (synthetic SPD) or sd (resistance matrix)")
+		nb     = flag.Int("nb", 2000, "random: block rows")
+		bpr    = flag.Float64("bpr", 6, "random: target blocks per row")
+		mseed  = flag.Uint64("mseed", 1, "random: generator seed")
+		np     = flag.Int("n", 500, "sd: particle count")
+		phi    = flag.Float64("phi", 0.30, "sd: volume occupancy")
+
+		threads    = flag.Int("threads", 1, "kernel threads")
+		mode       = flag.String("mode", "fused", "batch solver: fused (bitwise-identical) or block")
+		tol        = flag.Float64("tol", 1e-6, "default relative-residual tolerance")
+		maxIter    = flag.Int("max-iter", 1000, "default iteration cap")
+		maxBatch   = flag.Int("max-batch", 32, "max right-hand sides per dispatch")
+		queueCap   = flag.Int("queue-cap", 0, "admission queue bound (0: 4*max-batch)")
+		maxWait    = flag.Duration("max-wait", 2*time.Millisecond, "hard cap on the batching window")
+		waitFactor = flag.Float64("wait-factor", 1.5, "latency stretch allowed to reach the next kernel size")
+		useModel   = flag.Bool("model", true, "calibrate this host and drive the batching window with the r(m) cost model")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/pprof separately on this address")
+	)
+	flag.Parse()
+
+	parallel.SetThreads(*threads)
+
+	var a *bcrs.Matrix
+	switch *matrix {
+	case "random":
+		a = bcrs.Random(bcrs.RandomOptions{NB: *nb, BlocksPerRow: *bpr, Seed: *mseed})
+	case "sd":
+		sys, err := particles.New(particles.Options{N: *np, Phi: *phi, Seed: *mseed})
+		if err != nil {
+			fail(err)
+		}
+		a = sd.NewConf(sys, hydro.Options{}, *threads).Build()
+	default:
+		fail(fmt.Errorf("unknown -matrix %q (want random or sd)", *matrix))
+	}
+	a.SetThreads(*threads)
+
+	cfg := serve.Config{
+		Tol:        *tol,
+		MaxIter:    *maxIter,
+		Mode:       serve.Mode(*mode),
+		MaxBatch:   *maxBatch,
+		QueueCap:   *queueCap,
+		MaxWait:    *maxWait,
+		WaitFactor: *waitFactor,
+	}
+	if *useModel {
+		mc := perf.CalibratedMachine()
+		cfg.Model = &model.GSPMV{
+			Machine: mc,
+			Shape:   model.Shape{NB: a.NB(), NNZB: a.NNZB()},
+			K:       model.DefaultK,
+		}
+		fmt.Printf("model: B=%.2f GB/s F=%.2f Gflop/s\n", mc.B/1e9, mc.F/1e9)
+	}
+
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, obs.Default)
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: serving on http://%s/metrics\n", srv.Addr())
+	}
+
+	s, err := serve.Start(*addr, serve.NewEngine(a, cfg))
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("mrhs-server: n=%d nnzb=%d mode=%s max-batch=%d threads=%d on http://%s\n",
+		a.N(), a.NNZB(), cfg.Mode, cfg.MaxBatch, *threads, s.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("mrhs-server: draining...")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		fail(err)
+	}
+	fmt.Println("mrhs-server: drained, bye")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mrhs-server:", err)
+	os.Exit(1)
+}

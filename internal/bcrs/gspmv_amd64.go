@@ -1,0 +1,59 @@
+//go:build amd64
+
+package bcrs
+
+// The wide-m GSPMV kernels have an AVX2 fast path (gspmv_amd64.s)
+// that vectorizes across the right-hand sides: 4 columns per ymm
+// lane group, each lane running the scalar kernels' exact operation
+// order, so the SIMD result is bitwise-identical to the pure-Go
+// kernels. This is the paper's own implementation strategy — its
+// generated basic kernels vectorize the m dimension with SSE/AVX
+// intrinsics (Section IV-A) — and it is what moves the compute bound
+// F in the r(m) model from scalar to SIMD throughput.
+
+// Implemented in gspmv_amd64.s.
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+func gspmvRowAVX2(vals *float64, colIdx *int32, nblk int, x *float64, yrow *float64, m int)
+
+// simdWidth is 8 (columns per inner-kernel call) when the host and
+// OS support AVX2, else 0. Tests may clear it to force the pure-Go
+// kernels.
+var simdWidth = detectSIMD()
+
+func detectSIMD() int {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return 0
+	}
+	_, _, c1, _ := cpuidex(1, 0)
+	const osxsave, avx = 1 << 27, 1 << 28
+	if c1&osxsave == 0 || c1&avx == 0 {
+		return 0
+	}
+	// OS must save the full ymm state (XCR0 bits 1 and 2).
+	xlo, _ := xgetbv0()
+	if xlo&0x6 != 0x6 {
+		return 0
+	}
+	_, b7, _, _ := cpuidex(7, 0)
+	const avx2 = 1 << 5
+	if b7&avx2 == 0 {
+		return 0
+	}
+	return 8
+}
+
+// gspmvSIMD runs the AVX2 row kernel over [lo, hi). m must be a
+// positive multiple of 8.
+func gspmvSIMD(rowPtr, colIdx []int32, vals, x, y []float64, m, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		k0, k1 := int(rowPtr[i]), int(rowPtr[i+1])
+		yrow := &y[i*BlockDim*m]
+		if k1 == k0 {
+			clear(y[i*BlockDim*m : (i+1)*BlockDim*m])
+			continue
+		}
+		gspmvRowAVX2(&vals[k0*BlockSize], &colIdx[k0], k1-k0, &x[0], yrow, m)
+	}
+}

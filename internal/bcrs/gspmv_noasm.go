@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package bcrs
+
+// Non-amd64 builds have no SIMD fast path; the pure-Go kernels are
+// used for every m.
+var simdWidth = 0
+
+func gspmvSIMD(rowPtr, colIdx []int32, vals, x, y []float64, m, lo, hi int) {
+	panic("bcrs: gspmvSIMD without SIMD support")
+}

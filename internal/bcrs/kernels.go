@@ -58,6 +58,11 @@ func (a *Matrix) mul(y, x *multivec.MultiVec, forceGeneric bool) {
 		case 32:
 			kern = func(lo, hi int) { gspmv32(a.rowPtr, a.colIdx, a.vals, x.Data, y.Data, lo, hi) }
 		}
+		// The AVX2 fast path (bitwise-identical lanes across the m
+		// dimension) takes over every specialized width it divides.
+		if simdWidth > 0 && m >= simdWidth && m%simdWidth == 0 {
+			kern = func(lo, hi int) { gspmvSIMD(a.rowPtr, a.colIdx, a.vals, x.Data, y.Data, m, lo, hi) }
+		}
 	}
 	t0 := time.Now()
 	a.parallel(kern)

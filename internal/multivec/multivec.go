@@ -131,6 +131,59 @@ func (v *MultiVec) SetCol(j int, src []float64) {
 	}
 }
 
+// PackColumns gathers the given equal-length column vectors into the
+// leading columns of dst, zero-filling any remaining columns. The
+// zero padding is what lets a caller round a batch of q vectors up to
+// the next specialized-kernel width: a zero column costs the GSPMV
+// nothing numerically and its output column is simply ignored. Rows
+// are written disjointly, so the result is bitwise-identical for any
+// thread count.
+func PackColumns(dst *MultiVec, cols [][]float64) {
+	if len(cols) > dst.M {
+		panic("multivec: PackColumns has more columns than dst")
+	}
+	for _, c := range cols {
+		if len(c) != dst.N {
+			panic("multivec: PackColumns length mismatch")
+		}
+	}
+	m, q := dst.M, len(cols)
+	parallel.Default().ForOp("multivec_pack", dst.N, rowGrain(m), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := dst.Data[i*m : (i+1)*m]
+			for j := 0; j < q; j++ {
+				row[j] = cols[j][i]
+			}
+			for j := q; j < m; j++ {
+				row[j] = 0
+			}
+		}
+	})
+}
+
+// UnpackColumns scatters the leading len(cols) columns of src into the
+// given column vectors — the inverse of PackColumns, dropping any
+// padding columns.
+func UnpackColumns(cols [][]float64, src *MultiVec) {
+	if len(cols) > src.M {
+		panic("multivec: UnpackColumns has more columns than src")
+	}
+	for _, c := range cols {
+		if len(c) != src.N {
+			panic("multivec: UnpackColumns length mismatch")
+		}
+	}
+	m, q := src.M, len(cols)
+	parallel.Default().ForOp("multivec_unpack", src.N, rowGrain(m), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := src.Data[i*m : i*m+q]
+			for j, v := range row {
+				cols[j][i] = v
+			}
+		}
+	})
+}
+
 // Clone returns a deep copy.
 func (v *MultiVec) Clone() *MultiVec {
 	c := New(v.N, v.M)

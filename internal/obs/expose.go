@@ -59,6 +59,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			series{suffixName(name, "_sum"), formatFloat(h.Sum())},
 			series{suffixName(name, "_count"), strconv.FormatInt(h.Count(), 10)},
 		)
+		// Bucket-interpolated quantile estimates as companion gauge
+		// families (base_p50 etc.): Prometheus histograms carry only
+		// buckets, but scrapeless consumers (curl, the smoke tests)
+		// want latency percentiles directly.
+		for _, pq := range [...]struct {
+			suffix string
+			q      float64
+		}{{"_p50", 0.50}, {"_p95", 0.95}, {"_p99", 0.99}} {
+			add(suffixName(name, pq.suffix), formatFloat(h.Quantile(pq.q)), "gauge")
+		}
 	}
 	r.mu.RUnlock()
 

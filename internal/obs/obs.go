@@ -135,6 +135,53 @@ func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
 	return bounds, counts
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// distribution from the bucket counts, interpolating linearly inside
+// the containing bucket. The first bucket interpolates from zero (all
+// recorded quantities — latencies, residuals — are non-negative);
+// observations in the overflow bucket are attributed to the largest
+// finite bound, the best statement the bucketed data can make. With no
+// observations the estimate is 0. This powers the p50/p95/p99 request-
+// latency summaries of the JSON snapshot and Prometheus export.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.buckets {
+		c := float64(h.buckets[i].Load())
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			if i >= len(h.bounds) {
+				// Overflow bucket: no finite upper edge to
+				// interpolate toward.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - cum) / c
+			return lo + frac*(h.bounds[i]-lo)
+		}
+		cum += c
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // ExponentialBuckets returns n upper bounds starting at start and
 // multiplying by factor: {start, start*factor, ...}.
 func ExponentialBuckets(start, factor float64, n int) []float64 {

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	// 100 observations uniform over (0, 1]: every one lands in the
+	// first bucket, so quantiles interpolate inside [0, 1].
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("p50 of first-bucket mass = %v, want 0.5", got)
+	}
+
+	h2 := newHistogram([]float64{1, 2, 4, 8})
+	// 50 in (0,1], 30 in (1,2], 20 in (2,4]: p50 sits at the boundary
+	// of the first bucket, p95 three-quarters into the third.
+	for i := 0; i < 50; i++ {
+		h2.Observe(0.9)
+	}
+	for i := 0; i < 30; i++ {
+		h2.Observe(1.5)
+	}
+	for i := 0; i < 20; i++ {
+		h2.Observe(3)
+	}
+	if got := h2.Quantile(0.5); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("p50 = %v, want 1.0", got)
+	}
+	if got := h2.Quantile(0.95); math.Abs(got-3.5) > 1e-12 {
+		t.Errorf("p95 = %v, want 3.5", got)
+	}
+	// Monotone in q.
+	if h2.Quantile(0.99) < h2.Quantile(0.95) || h2.Quantile(0.95) < h2.Quantile(0.5) {
+		t.Error("quantiles not monotone")
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := newHistogram([]float64{1, 10})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	h.Observe(100) // overflow bucket
+	if got := h.Quantile(0.99); got != 10 {
+		t.Errorf("overflow-bucket quantile = %v, want last bound 10", got)
+	}
+	// Out-of-range q is clamped, not panicking.
+	if got := h.Quantile(-1); got < 0 {
+		t.Errorf("clamped q gave %v", got)
+	}
+	if got := h.Quantile(2); got != 10 {
+		t.Errorf("clamped q=2 gave %v", got)
+	}
+}
+
+func TestSnapshotAndPrometheusQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("req_seconds", []float64{0.001, 0.01, 0.1, 1})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	s := r.Snapshot()
+	hs, ok := s.Histograms["req_seconds"]
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if hs.P50 <= 0.001 || hs.P50 > 0.01 {
+		t.Errorf("snapshot p50 = %v, want in (0.001, 0.01]", hs.P50)
+	}
+	if hs.P99 <= 0.1 || hs.P99 > 1 {
+		t.Errorf("snapshot p99 = %v, want in (0.1, 1]", hs.P99)
+	}
+	if hs.P95 < hs.P50 || hs.P99 < hs.P95 {
+		t.Error("snapshot quantiles not monotone")
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE req_seconds_p50 gauge",
+		"# TYPE req_seconds_p95 gauge",
+		"# TYPE req_seconds_p99 gauge",
+		"req_seconds_p50 ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestPrometheusQuantilesLabeled(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(Label("solve_seconds", "m", "8"), []float64{1})
+	h.Observe(0.5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `solve_seconds_p50{m="8"}`) {
+		t.Errorf("labeled quantile series missing:\n%s", b.String())
+	}
+}

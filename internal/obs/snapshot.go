@@ -15,6 +15,12 @@ type HistogramSnapshot struct {
 	Sum    float64   `json:"sum"`
 	Bounds []float64 `json:"bounds"`
 	Counts []int64   `json:"counts"`
+	// P50/P95/P99 are bucket-interpolated quantile estimates (see
+	// Histogram.Quantile) — the request-latency summary consumed by
+	// the serve benchmarks without re-deriving from buckets.
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
 }
 
 // Snapshot is a point-in-time copy of a registry, serializable as
@@ -51,6 +57,7 @@ func (r *Registry) Snapshot() Snapshot {
 		bounds, counts := h.Buckets()
 		s.Histograms[name] = HistogramSnapshot{
 			Count: h.Count(), Sum: h.Sum(), Bounds: bounds, Counts: counts,
+			P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
 		}
 	}
 	return s

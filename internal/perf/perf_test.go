@@ -54,7 +54,11 @@ func TestRelativeTimesShape(t *testing.T) {
 	if rs[2] >= 16 {
 		t.Fatalf("r(16) = %v, GSPMV shows no amortization", rs[2])
 	}
-	if rs[2] < 0.5 {
+	// The lower bound only rejects nonsense (zero/negative timings).
+	// r(16) genuinely drops below 1 under the race detector, which
+	// instruments the pure-Go m=1 kernel but not the AVX2 assembly
+	// fast path serving m >= 8.
+	if rs[2] <= 0.01 {
 		t.Fatalf("r(16) = %v implausibly small", rs[2])
 	}
 }

@@ -1,0 +1,270 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/multivec"
+	"repro/internal/solver"
+)
+
+// run is the dispatcher: it pulls the oldest waiting request, gathers
+// a batch around it under the cost-model window, and dispatches one
+// fused (or block) solve per batch. One goroutine runs all batches —
+// intra-solve parallelism comes from the worker pool underneath the
+// kernels, so serializing dispatches keeps the machine's cores on one
+// GSPMV at a time instead of thrashing between competing solves.
+func (e *Engine) run() {
+	defer close(e.done)
+	for {
+		first, ok := <-e.queue
+		if !ok {
+			return
+		}
+		batch := e.gather(first)
+		e.dispatch(batch)
+	}
+}
+
+// gather coalesces requests around first: everything already queued
+// is taken immediately; after that the planner decides, from the
+// r(m) cost model and the arrival-rate estimate, whether dispatching
+// now beats holding the batch open for a fuller kernel.
+func (e *Engine) gather(first *call) []*call {
+	batch := []*call{first}
+	start := time.Now()
+	for len(batch) < e.cfg.MaxBatch {
+		// Drain whatever is already waiting — taking a queued request
+		// is always free.
+		select {
+		case c, ok := <-e.queue:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, c)
+			continue
+		default:
+		}
+		w := e.planWait(batch, time.Since(start))
+		if w <= 0 {
+			break
+		}
+		timer := time.NewTimer(w)
+		select {
+		case c, ok := <-e.queue:
+			timer.Stop()
+			if !ok {
+				return batch
+			}
+			batch = append(batch, c)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// planWait is the dispatch-now-vs-wait decision. With q requests in
+// hand it returns how much longer to hold the batch open, or <= 0 to
+// dispatch immediately.
+//
+// The target is the next useful width: filling the zero-padding of
+// the current kernel ceiling costs no extra kernel time (a padded
+// column rides for free), while stepping to the next kernel size
+// costs T(next) - T(cur). The model prices one solve as
+// iters * T(m) (iters is an EWMA of observed iteration counts), and
+// waiting is allowed only while
+//
+//	wait + iters*T(target) <= WaitFactor * iters*T(cur),
+//
+// so once GSPMV goes compute-bound — T(m) growing linearly, r(m) ~ m
+// — the inequality fails and batches stop growing: the batcher's
+// window tracks the paper's m_s switch point by construction. The
+// wait actually scheduled is the arrival-rate estimate of the time to
+// fill the target, clamped by that budget, by each request's context
+// deadline slack, and by the hard MaxWait cap.
+func (e *Engine) planWait(batch []*call, waited time.Duration) time.Duration {
+	q := len(batch)
+	if q >= e.cfg.MaxBatch {
+		return 0
+	}
+	rem := e.cfg.MaxWait - waited
+	if rem <= 0 {
+		return 0
+	}
+	cur := solver.KernelCeil(q)
+	target := cur
+	if q == cur {
+		target = solver.KernelCeil(cur + 1)
+		if target > e.cfg.MaxBatch {
+			return 0
+		}
+	}
+
+	budget := rem
+	var tTarget float64
+	if e.cfg.Model != nil {
+		iters := e.itersEWMA
+		tCur := iters * e.cfg.Model.T(cur)
+		tTarget = iters * e.cfg.Model.T(target)
+		if q == cur {
+			// Stepping kernels is only worth the modeled latency
+			// stretch; filling padding (q < cur) is free throughput
+			// and is bounded by rem alone.
+			lat := time.Duration((e.cfg.WaitFactor*tCur - tTarget) * float64(time.Second))
+			if lat < budget {
+				budget = lat
+			}
+		}
+	}
+	// A request whose deadline would expire during the bigger solve
+	// must not be held: dispatch now.
+	now := time.Now()
+	for _, c := range batch {
+		if dl, ok := c.ctx.Deadline(); ok {
+			slack := dl.Sub(now) - time.Duration(tTarget*float64(time.Second))
+			if slack < budget {
+				budget = slack
+			}
+		}
+	}
+	if budget <= 0 {
+		return 0
+	}
+	if gap := e.arrivalGap(); gap > 0 {
+		need := time.Duration(float64(target-q) * gap * float64(time.Second))
+		if need > budget {
+			// Arrivals are too slow to fill the target inside the
+			// budget: waiting would be pure added latency.
+			return 0
+		}
+		return need
+	}
+	return budget
+}
+
+// dispatch solves one coalesced batch and demultiplexes per-request
+// results. Requests whose context died while queued are answered with
+// ErrCanceled without touching the solver.
+func (e *Engine) dispatch(batch []*call) {
+	dispatchT0 := time.Now()
+	queueDepth.Set(float64(len(e.queue)))
+	live := batch[:0:len(batch)]
+	for _, c := range batch {
+		queueWait.Observe(dispatchT0.Sub(c.enq).Seconds())
+		if c.ctx.Err() != nil {
+			canceledQueued.Inc()
+			c.res <- Result{Err: ErrCanceled, QueueWait: dispatchT0.Sub(c.enq)}
+			continue
+		}
+		live = append(live, c)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	q := len(live)
+	kernelM := solver.KernelCeil(q)
+	if kernelM > e.cfg.MaxBatch {
+		kernelM = q
+	}
+	var stats []solver.Stats
+	xs := make([][]float64, q)
+	switch e.cfg.Mode {
+	case ModeBlock:
+		stats, xs = e.solveBlock(live, kernelM)
+	default:
+		bs := make([][]float64, q)
+		opts := make([]solver.Options, q)
+		for j, c := range live {
+			xs[j] = make([]float64, e.n)
+			bs[j] = c.req.B
+			opts[j] = e.colOptions(c)
+		}
+		stats = solver.MultiCG(e.op, xs, bs, opts)
+	}
+	elapsed := time.Since(dispatchT0)
+
+	batches.Inc()
+	batchRHS.Add(int64(q))
+	batchSize.Observe(float64(q))
+	solveSeconds.Add(elapsed.Seconds())
+	var sumIters int
+	for j, c := range live {
+		st := stats[j]
+		sumIters += st.Iterations
+		if !st.Converged && st.Err == nil {
+			nonConverged.Inc()
+		}
+		latency.Observe(time.Since(c.enq).Seconds())
+		c.res <- Result{
+			X:         xs[j],
+			Stats:     st,
+			BatchSize: q,
+			KernelM:   kernelM,
+			QueueWait: dispatchT0.Sub(c.enq),
+			SolveTime: elapsed,
+			Err:       st.Err,
+		}
+	}
+	// Refine the iteration estimate the cost model multiplies T(m) by.
+	const a = 0.3
+	e.itersEWMA = a*float64(sumIters)/float64(q) + (1-a)*e.itersEWMA
+}
+
+// colOptions builds the per-request solver options.
+func (e *Engine) colOptions(c *call) solver.Options {
+	opt := solver.Options{
+		Tol:     c.req.Tol,
+		MaxIter: c.req.MaxIter,
+		Precond: e.cfg.Precond,
+		Ctx:     c.ctx,
+	}
+	if opt.Tol == 0 {
+		opt.Tol = e.cfg.Tol
+	}
+	if opt.MaxIter == 0 {
+		opt.MaxIter = e.cfg.MaxIter
+	}
+	return opt
+}
+
+// solveBlock dispatches one BlockCGWithFallback over the batch,
+// zero-padding the right-hand-side block to the kernel width, and
+// splits the block outcome back into per-request stats. Per-request
+// tolerances are honored conservatively: the block solve runs at the
+// tightest tolerance in the batch.
+func (e *Engine) solveBlock(live []*call, kernelM int) ([]solver.Stats, [][]float64) {
+	q := len(live)
+	b := multivec.New(e.n, kernelM)
+	bs := make([][]float64, q)
+	opt := solver.Options{Tol: e.cfg.Tol, MaxIter: e.cfg.MaxIter, Precond: e.cfg.Precond}
+	for j, c := range live {
+		bs[j] = c.req.B
+		if c.req.Tol != 0 && (opt.Tol == 0 || c.req.Tol < opt.Tol) {
+			opt.Tol = c.req.Tol
+		}
+		if c.req.MaxIter != 0 && c.req.MaxIter > opt.MaxIter {
+			opt.MaxIter = c.req.MaxIter
+		}
+	}
+	multivec.PackColumns(b, bs)
+	x := multivec.New(e.n, kernelM)
+	bst := solver.BlockCGWithFallback(e.op, x, b, opt)
+
+	stats := make([]solver.Stats, q)
+	xs := make([][]float64, q)
+	for j := range live {
+		xs[j] = make([]float64, e.n)
+	}
+	multivec.UnpackColumns(xs, x)
+	for j := range live {
+		stats[j] = solver.Stats{
+			Iterations: bst.Iterations,
+			MatMuls:    bst.MatMuls,
+			Converged:  bst.ColumnConverged[j],
+			Residual:   bst.ColumnResiduals[j],
+			Err:        bst.Err,
+		}
+	}
+	return stats, xs
+}

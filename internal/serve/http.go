@@ -1,0 +1,301 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// SolveRequest is the JSON body of POST /v1/solve. The right-hand
+// side is either B (explicit values, length N) or Seed (a
+// deterministic standard-normal vector generated server-side, handy
+// for load generation without shipping megabytes of JSON).
+type SolveRequest struct {
+	B         []float64 `json:"b,omitempty"`
+	Seed      *uint64   `json:"seed,omitempty"`
+	Tol       float64   `json:"tol,omitempty"`
+	MaxIter   int       `json:"max_iter,omitempty"`
+	TimeoutMS int       `json:"timeout_ms,omitempty"`
+	// OmitX suppresses the solution vector in the response (benchmark
+	// clients usually only want the stats).
+	OmitX bool `json:"omit_x,omitempty"`
+}
+
+// SolveResponse is the JSON body answered by POST /v1/solve.
+type SolveResponse struct {
+	X           []float64 `json:"x,omitempty"`
+	Converged   bool      `json:"converged"`
+	Iterations  int       `json:"iterations"`
+	MatMuls     int       `json:"matmuls"`
+	Residual    float64   `json:"residual"`
+	BatchSize   int       `json:"batch_size"`
+	KernelM     int       `json:"kernel_m"`
+	QueueWaitMS float64   `json:"queue_wait_ms"`
+	SolveMS     float64   `json:"solve_ms"`
+}
+
+// SDStepRequest is the JSON body of POST /v1/sdstep: one resolvent
+// application of the Stokesian-dynamics update. Given a force vector
+// f (explicit F or server-generated from Seed), the server solves
+// R u = f for the velocities and returns the displacement dx = dt*u.
+type SDStepRequest struct {
+	F         []float64 `json:"f,omitempty"`
+	Seed      *uint64   `json:"seed,omitempty"`
+	Dt        float64   `json:"dt"`
+	Tol       float64   `json:"tol,omitempty"`
+	MaxIter   int       `json:"max_iter,omitempty"`
+	TimeoutMS int       `json:"timeout_ms,omitempty"`
+	OmitX     bool      `json:"omit_x,omitempty"`
+}
+
+// SDStepResponse is the JSON body answered by POST /v1/sdstep.
+type SDStepResponse struct {
+	U           []float64 `json:"u,omitempty"`
+	Dx          []float64 `json:"dx,omitempty"`
+	Converged   bool      `json:"converged"`
+	Iterations  int       `json:"iterations"`
+	Residual    float64   `json:"residual"`
+	BatchSize   int       `json:"batch_size"`
+	KernelM     int       `json:"kernel_m"`
+	QueueWaitMS float64   `json:"queue_wait_ms"`
+	SolveMS     float64   `json:"solve_ms"`
+}
+
+// Info is the JSON body of GET /v1/info.
+type Info struct {
+	N          int     `json:"n"`
+	Mode       Mode    `json:"mode"`
+	MaxBatch   int     `json:"max_batch"`
+	QueueCap   int     `json:"queue_cap"`
+	MaxWaitMS  float64 `json:"max_wait_ms"`
+	WaitFactor float64 `json:"wait_factor"`
+	Tol        float64 `json:"tol"`
+	HasModel   bool    `json:"has_model"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the engine's HTTP API:
+//
+//	POST /v1/solve    solve A*x = b (request bodies batch server-side)
+//	POST /v1/sdstep   solve R*u = f, answer u and dx = dt*u
+//	GET  /healthz     200 while serving, 503 once draining
+//	GET  /v1/info     engine dimensions and batching configuration
+//	GET  /metrics     Prometheus text exposition of obs.Default
+//
+// Solver outcomes map onto status codes: 400 for malformed bodies or
+// dimension mismatches, 429 when the admission queue sheds, 503 while
+// draining, 504 when the request's deadline expired mid-queue or
+// mid-solve.
+func Handler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, errors.New("serve: POST required"))
+			return
+		}
+		var sr SolveRequest
+		if err := json.NewDecoder(r.Body).Decode(&sr); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("serve: bad JSON: %w", err))
+			return
+		}
+		b, err := rhsOf(e, sr.B, sr.Seed)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		ctx, cancel := reqContext(r, sr.TimeoutMS)
+		defer cancel()
+		res, err := e.Submit(ctx, Req{B: b, Tol: sr.Tol, MaxIter: sr.MaxIter})
+		if err != nil {
+			writeErr(w, statusOf(err), err)
+			return
+		}
+		resp := SolveResponse{
+			Converged:   res.Stats.Converged,
+			Iterations:  res.Stats.Iterations,
+			MatMuls:     res.Stats.MatMuls,
+			Residual:    res.Stats.Residual,
+			BatchSize:   res.BatchSize,
+			KernelM:     res.KernelM,
+			QueueWaitMS: float64(res.QueueWait) / float64(time.Millisecond),
+			SolveMS:     float64(res.SolveTime) / float64(time.Millisecond),
+		}
+		if !sr.OmitX {
+			resp.X = res.X
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("/v1/sdstep", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, errors.New("serve: POST required"))
+			return
+		}
+		var sr SDStepRequest
+		if err := json.NewDecoder(r.Body).Decode(&sr); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("serve: bad JSON: %w", err))
+			return
+		}
+		if sr.Dt <= 0 {
+			writeErr(w, http.StatusBadRequest, errors.New("serve: dt must be > 0"))
+			return
+		}
+		f, err := rhsOf(e, sr.F, sr.Seed)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		ctx, cancel := reqContext(r, sr.TimeoutMS)
+		defer cancel()
+		res, err := e.Submit(ctx, Req{B: f, Tol: sr.Tol, MaxIter: sr.MaxIter})
+		if err != nil {
+			writeErr(w, statusOf(err), err)
+			return
+		}
+		resp := SDStepResponse{
+			Converged:   res.Stats.Converged,
+			Iterations:  res.Stats.Iterations,
+			Residual:    res.Stats.Residual,
+			BatchSize:   res.BatchSize,
+			KernelM:     res.KernelM,
+			QueueWaitMS: float64(res.QueueWait) / float64(time.Millisecond),
+			SolveMS:     float64(res.SolveTime) / float64(time.Millisecond),
+		}
+		if !sr.OmitX {
+			resp.U = res.X
+			dx := make([]float64, len(res.X))
+			for i, u := range res.X {
+				dx[i] = sr.Dt * u
+			}
+			resp.Dx = dx
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if e.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status": "draining", "queue_depth": e.QueueDepth(),
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ok", "queue_depth": e.QueueDepth(),
+		})
+	})
+
+	mux.HandleFunc("/v1/info", func(w http.ResponseWriter, _ *http.Request) {
+		cfg := e.Config()
+		writeJSON(w, http.StatusOK, Info{
+			N:          e.N(),
+			Mode:       cfg.Mode,
+			MaxBatch:   cfg.MaxBatch,
+			QueueCap:   cfg.QueueCap,
+			MaxWaitMS:  float64(cfg.MaxWait) / float64(time.Millisecond),
+			WaitFactor: cfg.WaitFactor,
+			Tol:        cfg.Tol,
+			HasModel:   cfg.Model != nil,
+		})
+	})
+
+	mux.Handle("/metrics", obs.Handler(obs.Default))
+	return mux
+}
+
+// rhsOf resolves the explicit-vector-or-seed right-hand-side choice.
+func rhsOf(e *Engine, b []float64, seed *uint64) ([]float64, error) {
+	switch {
+	case b != nil && seed != nil:
+		return nil, errors.New("serve: give either an explicit vector or a seed, not both")
+	case seed != nil:
+		v := make([]float64, e.N())
+		s := rng.New(*seed)
+		for i := range v {
+			v[i] = s.Normal()
+		}
+		return v, nil
+	case len(b) != e.N():
+		return nil, fmt.Errorf("serve: right-hand side has length %d, want %d", len(b), e.N())
+	default:
+		return b, nil
+	}
+}
+
+// reqContext derives the request context, applying the body's
+// timeout_ms on top of client disconnect propagation.
+func reqContext(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	if timeoutMS > 0 {
+		return context.WithTimeout(r.Context(), time.Duration(timeoutMS)*time.Millisecond)
+	}
+	return context.WithCancel(r.Context())
+}
+
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests // 429
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable // 503
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest // 400
+	case errors.Is(err, ErrCanceled):
+		return http.StatusGatewayTimeout // 504
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// Server couples an Engine with an HTTP listener and implements the
+// drain-then-stop shutdown sequence.
+type Server struct {
+	Engine *Engine
+	ln     net.Listener
+	srv    *http.Server
+}
+
+// Start listens on addr (":0" picks a free port) and serves the
+// engine's API until Shutdown.
+func Start(addr string, e *Engine) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	s := &Server{Engine: e, ln: ln, srv: &http.Server{Handler: Handler(e)}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Shutdown drains gracefully: the engine stops admitting (new solves
+// get 503), queued batches are flushed and answered, then the HTTP
+// listener closes. In-flight HTTP requests complete before Shutdown
+// returns, bounded by ctx.
+func (s *Server) Shutdown(ctx context.Context) error {
+	errEngine := s.Engine.Close(ctx)
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	return errEngine
+}

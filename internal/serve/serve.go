@@ -1,0 +1,300 @@
+// Package serve turns the MRHS solver stack into a batching solve
+// server: independent solve requests are held briefly in a bounded
+// admission queue and coalesced by a dynamic batcher into one
+// multi-right-hand-side solve sized to the specialized GSPMV kernels
+// (m in {1, 2, 4, 8, 16, 32}).
+//
+// The economics are the paper's Eq. 8 applied to serving: a solve
+// with m fused right-hand sides costs r(m) << m times a single solve,
+// so coalescing q concurrent requests multiplies throughput by
+// q/r(q). Krasnopolsky (arXiv:1711.10622) fuses independent ensemble
+// simulations this way; here the independent systems are independent
+// *user requests* against a shared operator.
+//
+// Two dispatch modes exist. The default, fused, runs one standard CG
+// recurrence per request sharing only the GSPMV (solver.MultiCG);
+// each request's answer is bitwise-identical to solving it alone,
+// which makes batching invisible to clients. Mode block dispatches
+// one solver.BlockCGWithFallback per batch — the block-Krylov
+// coupling converges in fewer iterations but answers are only
+// tolerance-equivalent, not bitwise.
+//
+// Overload is handled by explicit load shedding: when the admission
+// queue is full, Submit fails fast with ErrOverloaded (HTTP 429)
+// instead of growing an unbounded backlog. Shutdown is a graceful
+// drain: new work is refused, queued work is flushed.
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/solver"
+)
+
+// Errors returned by Submit. ErrCanceled is re-exported from the
+// solver so callers can match either layer's cancellation uniformly.
+var (
+	// ErrOverloaded means the admission queue was full and the
+	// request was shed without being enqueued.
+	ErrOverloaded = errors.New("serve: overloaded, request shed")
+	// ErrDraining means the engine is shutting down and refuses new
+	// work.
+	ErrDraining = errors.New("serve: draining, not accepting requests")
+	// ErrBadRequest means the right-hand side had the wrong dimension.
+	ErrBadRequest = errors.New("serve: right-hand side dimension mismatch")
+	// ErrCanceled mirrors solver.ErrCanceled: the request's context
+	// was canceled or its deadline expired before or during the solve.
+	ErrCanceled = solver.ErrCanceled
+)
+
+// Mode selects how a coalesced batch is solved.
+type Mode string
+
+const (
+	// ModeFused runs one CG recurrence per request with fused matrix
+	// multiplies (solver.MultiCG): bitwise-identical to unbatched.
+	ModeFused Mode = "fused"
+	// ModeBlock runs O'Leary block CG with per-column fallback
+	// (solver.BlockCGWithFallback): fastest convergence, tolerance-
+	// equivalent answers.
+	ModeBlock Mode = "block"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Tol and MaxIter are the default solver options for requests
+	// that do not override them.
+	Tol     float64
+	MaxIter int
+	// Precond, if non-nil, preconditions every solve.
+	Precond solver.Preconditioner
+	// Mode selects the batch solver; default ModeFused.
+	Mode Mode
+	// MaxBatch caps the right-hand sides coalesced into one dispatch
+	// (clamped to the largest specialized kernel, 32). Default 32.
+	MaxBatch int
+	// QueueCap bounds the admission queue; a full queue sheds
+	// requests with ErrOverloaded. Default 4*MaxBatch.
+	QueueCap int
+	// MaxWait is the hard cap on how long the batcher holds a request
+	// hoping for a fuller batch. Default 2ms.
+	MaxWait time.Duration
+	// WaitFactor is the latency stretch the cost model may spend to
+	// reach the next kernel size: the batcher waits only while
+	// wait + T_solve(next) <= WaitFactor * T_solve(now). Default 1.5.
+	WaitFactor float64
+	// Model, if non-nil, prices T(m) for the dispatch-now-vs-wait
+	// decision (see planWait). Without a model the batcher falls back
+	// to waiting at most MaxWait whenever the batch is not full.
+	Model *model.GSPMV
+	// SeedIters seeds the iteration-count estimate the cost model
+	// multiplies T(m) by, before real dispatches refine it. Default 50.
+	SeedIters float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tol == 0 {
+		c.Tol = 1e-6
+	}
+	if c.Mode == "" {
+		c.Mode = ModeFused
+	}
+	if c.MaxBatch < 1 || c.MaxBatch > 32 {
+		c.MaxBatch = 32
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 4 * c.MaxBatch
+	}
+	if c.MaxWait == 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.WaitFactor <= 1 {
+		c.WaitFactor = 1.5
+	}
+	if c.SeedIters <= 0 {
+		c.SeedIters = 50
+	}
+	return c
+}
+
+// Req is one solve request: find x with A*x = B to the requested
+// tolerance.
+type Req struct {
+	B       []float64
+	Tol     float64 // 0: engine default
+	MaxIter int     // 0: engine default
+}
+
+// Result is the demultiplexed outcome of one request.
+type Result struct {
+	// X is the solution (bitwise-identical to an unbatched solve in
+	// ModeFused).
+	X []float64
+	// Stats is this request's solver outcome. In ModeBlock the
+	// iteration and matmul counts are those of the shared block
+	// solve.
+	Stats solver.Stats
+	// BatchSize is the number of requests coalesced into the dispatch
+	// that served this one; KernelM is the padded multivector width
+	// the GSPMV actually ran at.
+	BatchSize int
+	KernelM   int
+	// QueueWait is the time spent in the admission queue and batching
+	// window; SolveTime the shared solve's wall time.
+	QueueWait time.Duration
+	SolveTime time.Duration
+	// Err is ErrCanceled when the request's context expired before or
+	// during the solve. Non-convergence is not an error; see Stats.
+	Err error
+}
+
+// call is one queued request with its response channel.
+type call struct {
+	ctx context.Context
+	req Req
+	enq time.Time
+	res chan Result // buffered(1): the dispatcher never blocks on it
+}
+
+// Engine is the batching solve core: a bounded admission queue, a
+// dispatcher goroutine running the dynamic batcher, and the arrival /
+// iteration estimators feeding the cost model.
+type Engine struct {
+	op  solver.BlockOperator
+	n   int
+	cfg Config
+
+	queue chan *call
+	done  chan struct{}
+
+	mu       sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+	lastArr  time.Time
+	gapEWMA  float64 // seconds between arrivals, exponentially smoothed
+
+	itersEWMA float64 // dispatcher-only: observed iterations per solve
+}
+
+// NewEngine starts an engine serving solves against op. Close it to
+// drain.
+func NewEngine(op solver.BlockOperator, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		op:        op,
+		n:         op.N(),
+		cfg:       cfg,
+		queue:     make(chan *call, cfg.QueueCap),
+		done:      make(chan struct{}),
+		itersEWMA: cfg.SeedIters,
+	}
+	go e.run()
+	return e
+}
+
+// N returns the scalar dimension requests must match.
+func (e *Engine) N() int { return e.n }
+
+// Config returns the engine's effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// QueueDepth returns the current admission-queue occupancy.
+func (e *Engine) QueueDepth() int { return len(e.queue) }
+
+// Draining reports whether Close has begun.
+func (e *Engine) Draining() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.draining
+}
+
+// Submit enqueues a request and blocks until its batch is solved, the
+// context is done, or the request is shed. It is safe for any number
+// of concurrent callers; concurrency is what the batcher feeds on.
+func (e *Engine) Submit(ctx context.Context, req Req) (Result, error) {
+	if len(req.B) != e.n {
+		return Result{}, ErrBadRequest
+	}
+	e.mu.Lock()
+	if e.draining {
+		e.mu.Unlock()
+		drainRejected.Inc()
+		return Result{}, ErrDraining
+	}
+	// inflight spans the enqueue so Close cannot close the queue
+	// under a concurrent send.
+	e.inflight.Add(1)
+	e.noteArrival(time.Now())
+	e.mu.Unlock()
+	defer e.inflight.Done()
+
+	requests.Inc()
+	c := &call{ctx: ctx, req: req, enq: time.Now(), res: make(chan Result, 1)}
+	select {
+	case e.queue <- c:
+		queueDepth.Set(float64(len(e.queue)))
+	default:
+		shed.Inc()
+		return Result{}, ErrOverloaded
+	}
+	select {
+	case r := <-c.res:
+		return r, r.Err
+	case <-ctx.Done():
+		// The dispatcher notices the dead context at dispatch time
+		// and drops the call into its buffered channel; nobody waits.
+		canceled.Inc()
+		return Result{}, ErrCanceled
+	}
+}
+
+// noteArrival feeds the inter-arrival EWMA the cost model uses to
+// predict how long the next kernel size would take to fill. Callers
+// hold e.mu.
+func (e *Engine) noteArrival(now time.Time) {
+	if !e.lastArr.IsZero() {
+		gap := now.Sub(e.lastArr).Seconds()
+		const a = 0.2
+		if e.gapEWMA == 0 {
+			e.gapEWMA = gap
+		} else {
+			e.gapEWMA = a*gap + (1-a)*e.gapEWMA
+		}
+	}
+	e.lastArr = now
+}
+
+// arrivalGap returns the smoothed inter-arrival time estimate in
+// seconds (0: no estimate yet).
+func (e *Engine) arrivalGap() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.gapEWMA
+}
+
+// Close drains the engine: new Submits fail with ErrDraining, queued
+// requests are flushed through the batcher, and Close returns when
+// the dispatcher has exited (or ctx expires; the dispatcher keeps
+// flushing regardless).
+func (e *Engine) Close(ctx context.Context) error {
+	e.mu.Lock()
+	already := e.draining
+	e.draining = true
+	e.mu.Unlock()
+	if !already {
+		// Wait out submitters caught between the drain check and
+		// their enqueue, then close the queue to stop the dispatcher.
+		e.inflight.Wait()
+		close(e.queue)
+	}
+	select {
+	case <-e.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

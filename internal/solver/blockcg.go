@@ -133,6 +133,10 @@ func BlockCG(a BlockOperator, x, b *multivec.MultiVec, opt Options) (stats Block
 	multivec.GramInto(ztr, z, r)
 
 	for it := 0; it < opt.MaxIter; it++ {
+		if opt.canceled() {
+			stats.Err = ErrCanceled
+			break
+		}
 		a.Mul(s, p) // S = A*P: the one GSPMV per iteration
 		stats.MatMuls++
 

@@ -1,10 +1,19 @@
 package solver
 
 import (
+	"context"
+	"errors"
+
 	"repro/internal/bcrs"
 	"repro/internal/blas"
 	"repro/internal/parallel"
 )
+
+// ErrCanceled is reported in Stats.Err when a solve stops early
+// because Options.Ctx was canceled or its deadline expired. The
+// iterate holds the last completed iteration's state; the solve does
+// not panic or discard progress.
+var ErrCanceled = errors.New("solver: solve canceled")
 
 // Stats reports the outcome of an iterative solve.
 type Stats struct {
@@ -23,6 +32,10 @@ type Stats struct {
 	// solves instead store one entry per right-hand side: the final
 	// relative residual of each column.
 	Residuals []float64
+	// Err is ErrCanceled when the solve was stopped by Options.Ctx;
+	// nil otherwise (running out of iterations is not an error, it is
+	// reported through Converged).
+	Err error
 }
 
 // Options controls the iterative solvers.
@@ -37,6 +50,17 @@ type Options struct {
 	// TrackResiduals records the per-iteration relative residual in
 	// Stats.Residuals (single-vector CG only).
 	TrackResiduals bool
+	// Ctx, if non-nil, is checked once per iteration: when it is
+	// canceled or past its deadline the solve returns early with
+	// Stats.Err = ErrCanceled and the current iterate in x. This is
+	// how the batching solve server enforces per-request deadlines
+	// inside long iteration loops.
+	Ctx context.Context
+}
+
+// canceled reports whether the solve's context has been canceled.
+func (o Options) canceled() bool {
+	return o.Ctx != nil && o.Ctx.Err() != nil
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -96,6 +120,10 @@ func CG(a Operator, x, b []float64, opt Options) Stats {
 	ap := make([]float64, n)
 
 	for it := 0; it < opt.MaxIter; it++ {
+		if opt.canceled() {
+			stats.Err = ErrCanceled
+			break
+		}
 		a.MulVec(ap, p)
 		stats.MatMuls++
 		alpha := rz / blas.Dot(p, ap)

@@ -53,7 +53,9 @@ func asOperator(a BlockOperator) Operator {
 // residuals reflect the post-fallback state.
 func BlockCGWithFallback(a BlockOperator, x, b *multivec.MultiVec, opt Options) BlockStats {
 	stats := BlockCG(a, x, b, opt)
-	if stats.Converged {
+	if stats.Converged || stats.Err != nil {
+		// A canceled block solve stays canceled: spending the rescue
+		// budget after the caller's deadline has passed helps nobody.
 		return stats
 	}
 	fallbackSolves.Inc()
@@ -76,6 +78,10 @@ func BlockCGWithFallback(a BlockOperator, x, b *multivec.MultiVec, opt Options) 
 		if stats.ColumnConverged[j] {
 			continue
 		}
+		if opt.canceled() {
+			stats.Err = ErrCanceled
+			break
+		}
 		stats.FallbackColumns++
 		fallbackColumns.Inc()
 		x.Col(j, xcol)
@@ -85,7 +91,7 @@ func BlockCGWithFallback(a BlockOperator, x, b *multivec.MultiVec, opt Options) 
 		stats.Iterations += st.Iterations
 		stats.MatMuls += st.MatMuls
 		rel := st.Residual
-		for sweep := 0; !st.Converged && sweep < refineSweeps; sweep++ {
+		for sweep := 0; !st.Converged && st.Err == nil && sweep < refineSweeps; sweep++ {
 			// Iterative refinement: solve A*d = b - A*x from zero and
 			// correct the iterate.
 			op.MulVec(r, xcol)
@@ -111,6 +117,10 @@ func BlockCGWithFallback(a BlockOperator, x, b *multivec.MultiVec, opt Options) 
 		if st.Converged {
 			stats.ColumnConverged[j] = true
 			fallbackRescued.Inc()
+		}
+		if st.Err != nil {
+			stats.Err = st.Err
+			break
 		}
 	}
 

@@ -1,0 +1,207 @@
+package solver
+
+import (
+	"repro/internal/blas"
+	"repro/internal/multivec"
+	"repro/internal/parallel"
+)
+
+// KernelSizes lists the vector counts with specialized fully-unrolled
+// GSPMV kernels (internal/bcrs). The batching solve server rounds
+// batch widths up to these sizes; MultiCG pads its fused multiplies
+// the same way.
+var KernelSizes = [...]int{1, 2, 4, 8, 16, 32}
+
+// KernelCeil returns the smallest specialized-kernel vector count that
+// is >= q, or q itself when q exceeds the largest specialized kernel
+// (the generic kernel handles it).
+func KernelCeil(q int) int {
+	for _, k := range KernelSizes {
+		if k >= q {
+			return k
+		}
+	}
+	return q
+}
+
+// MultiCG solves the q independent systems A*x_j = b_j by running one
+// standard (preconditioned) CG recurrence per column while fusing the
+// matrix multiplies of all still-active columns into a single GSPMV
+// per iteration — the multiple-right-hand-side economics of the paper
+// applied to *independent* solves, after Krasnopolsky's ensemble
+// fusion (arXiv:1711.10622).
+//
+// Unlike BlockCG, the columns share nothing but the matrix traffic:
+// each keeps its own scalar alpha/beta recurrence, converges against
+// its own tolerance and iteration budget, and drops out of the fused
+// multiply as soon as it is done (the remaining columns are repacked
+// to the next specialized kernel width). Because the GSPMV kernels
+// accumulate every column with an identical operation order for every
+// m, and all per-column vector operations run on contiguous scratch
+// the same way CG's do, each column's iterate is BITWISE-IDENTICAL to
+// what CG(a, x_j, b_j, opts[j]) alone would produce — the property
+// the serving layer's batched-vs-unbatched equivalence test pins down.
+//
+// opts[j] applies to column j (tolerance, iteration budget, shared
+// preconditioner, per-request cancellation context). xs[j] supplies
+// the initial guess and receives the solution.
+func MultiCG(a BlockOperator, xs, bs [][]float64, opts []Options) []Stats {
+	n := a.N()
+	q := len(xs)
+	if len(bs) != q || len(opts) != q {
+		panic("solver: MultiCG slice count mismatch")
+	}
+	for j := 0; j < q; j++ {
+		if len(xs[j]) != n || len(bs[j]) != n {
+			panic("solver: MultiCG dimension mismatch")
+		}
+	}
+	stats := make([]Stats, q)
+	if q == 0 {
+		return stats
+	}
+	defer recordMultiCG(stats)
+
+	type col struct {
+		x, b, r, z, p, ap []float64
+		rz, bnorm, rnorm  float64
+		opt               Options
+		st                *Stats
+	}
+	cols := make([]*col, q)
+	for j := 0; j < q; j++ {
+		cols[j] = &col{
+			x: xs[j], b: bs[j],
+			r:   make([]float64, n),
+			opt: opts[j].withDefaults(n),
+			st:  &stats[j],
+		}
+	}
+
+	// The fused R = B - A*X: one padded GSPMV computes A*x_j for every
+	// column at once (columns are packed to the next specialized
+	// kernel width; the zero padding columns are ignored on unpack).
+	pool := parallel.Default()
+	w := KernelCeil(q)
+	px := multivec.New(n, w)
+	py := multivec.New(n, w)
+	rcols := make([][]float64, q)
+	xcols := make([][]float64, q)
+	for j, c := range cols {
+		rcols[j] = c.r
+		xcols[j] = c.x
+	}
+	multivec.PackColumns(px, xcols)
+	a.Mul(py, px)
+	multivec.UnpackColumns(rcols, py)
+
+	// Per-column setup, mirroring CG exactly: zero right-hand sides
+	// and already-converged guesses retire immediately.
+	active := make([]*col, 0, q)
+	retire := func(c *col) {
+		if c.bnorm > 0 {
+			c.st.Residual = c.rnorm / c.bnorm
+		}
+	}
+	for _, c := range cols {
+		c.st.MatMuls = 1
+		blas.Sub(c.r, c.b, c.r)
+		c.bnorm = blas.Nrm2(c.b)
+		if c.bnorm == 0 {
+			blas.Fill(c.x, 0)
+			c.st.Converged = true
+			continue
+		}
+		c.rnorm = blas.Nrm2(c.r)
+		if c.rnorm <= c.opt.Tol*c.bnorm {
+			c.st.Converged = true
+			retire(c)
+			continue
+		}
+		c.z = c.r
+		if c.opt.Precond != nil {
+			c.z = make([]float64, n)
+			c.opt.Precond.Apply(c.z, c.r)
+		}
+		c.p = append([]float64(nil), c.z...)
+		c.rz = blas.Dot(c.r, c.z)
+		c.ap = make([]float64, n)
+		active = append(active, c)
+	}
+
+	pcols := make([][]float64, 0, q)
+	apcols := make([][]float64, 0, q)
+	for len(active) > 0 {
+		// Budget and cancellation checks in the same order CG performs
+		// them: the iteration-count test guards the loop, the context
+		// test runs at the top of the body.
+		live := active[:0]
+		for _, c := range active {
+			switch {
+			case c.st.Iterations >= c.opt.MaxIter:
+				retire(c)
+			case c.opt.canceled():
+				c.st.Err = ErrCanceled
+				retire(c)
+			default:
+				live = append(live, c)
+			}
+		}
+		active = live
+		if len(active) == 0 {
+			break
+		}
+
+		// One fused GSPMV over the active columns, padded to the next
+		// specialized kernel width.
+		w = KernelCeil(len(active))
+		if px.M != w {
+			px = multivec.New(n, w)
+			py = multivec.New(n, w)
+		}
+		pcols, apcols = pcols[:0], apcols[:0]
+		for _, c := range active {
+			pcols = append(pcols, c.p)
+			apcols = append(apcols, c.ap)
+		}
+		multivec.PackColumns(px, pcols)
+		a.Mul(py, px)
+		multivec.UnpackColumns(apcols, py)
+
+		live = active[:0]
+		for _, c := range active {
+			c.st.MatMuls++
+			alpha := c.rz / blas.Dot(c.p, c.ap)
+			blas.Axpy(alpha, c.p, c.x)
+			blas.Axpy(-alpha, c.ap, c.r)
+			c.st.Iterations++
+
+			c.rnorm = blas.Nrm2(c.r)
+			if c.opt.TrackResiduals {
+				c.st.Residuals = append(c.st.Residuals, c.rnorm/c.bnorm)
+			}
+			if c.rnorm <= c.opt.Tol*c.bnorm {
+				c.st.Converged = true
+				retire(c)
+				continue
+			}
+			if c.opt.Precond != nil {
+				c.opt.Precond.Apply(c.z, c.r)
+			}
+			rzNew := blas.Dot(c.r, c.z)
+			beta := rzNew / c.rz
+			c.rz = rzNew
+			p, z := c.p, c.z
+			// Disjoint writes, same op label and grain as CG: the
+			// update is bitwise-identical to the single-vector path.
+			pool.ForOp("cg_update", n, 8192, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					p[i] = z[i] + beta*p[i]
+				}
+			})
+			live = append(live, c)
+		}
+		active = live
+	}
+	return stats
+}

@@ -22,6 +22,13 @@ var (
 	blockFailures = obs.Default.Counter("solver_blockcg_nonconverged_total")
 	blockResidual = obs.Default.Histogram("solver_blockcg_final_residual", obs.ResidualBuckets)
 
+	multiSolves   = obs.Default.Counter("solver_multicg_solves_total")
+	multiColumns  = obs.Default.Counter("solver_multicg_rhs_total")
+	multiIters    = obs.Default.Counter("solver_multicg_iterations_total")
+	multiFailures = obs.Default.Counter("solver_multicg_nonconverged_total")
+	multiCanceled = obs.Default.Counter("solver_multicg_canceled_total")
+	multiResidual = obs.Default.Histogram("solver_multicg_final_residual", obs.ResidualBuckets)
+
 	refineSolves   = obs.Default.Counter("solver_refine_solves_total")
 	refineIters    = obs.Default.Counter("solver_refine_iterations_total")
 	refineFailures = obs.Default.Counter("solver_refine_nonconverged_total")
@@ -48,6 +55,22 @@ func recordBlockCG(st *BlockStats) {
 	}
 	if !st.Converged {
 		blockFailures.Inc()
+	}
+}
+
+func recordMultiCG(stats []Stats) {
+	multiSolves.Inc()
+	multiColumns.Add(int64(len(stats)))
+	for i := range stats {
+		st := &stats[i]
+		multiIters.Add(int64(st.Iterations))
+		multiResidual.Observe(st.Residual)
+		if !st.Converged {
+			multiFailures.Inc()
+		}
+		if st.Err != nil {
+			multiCanceled.Inc()
+		}
 	}
 }
 
