@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race chaos serial serve-smoke bench bench-snapshot bench-scaling bench-serve
+.PHONY: ci vet build test race race-kernels chaos serial serve-smoke bench bench-snapshot bench-scaling bench-serve bench-symm
 
 # ci is the gate: vet, build everything, the full test suite under
 # the race detector (the obs hot paths are lock-free and the worker
@@ -9,7 +9,7 @@ GO ?= go
 # suite (batched-vs-unbatched bitwise equivalence, shedding,
 # cancellation, drain), and one serial pass with GOMAXPROCS=1 to
 # prove nothing depends on real parallelism.
-ci: vet build race chaos serve-smoke serial
+ci: vet build race-kernels race chaos serve-smoke serial
 
 vet:
 	$(GO) vet ./...
@@ -22,6 +22,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# race-kernels is the fast fail-first race gate over the packages the
+# parallel symmetric GSPMV touches: the two-phase scatter/reduce
+# schedule in bcrs, the worker pool it runs on, and the serving
+# dispatcher that reuses solver scratch across batches. Short mode
+# keeps it seconds-cheap so the full -race suite only runs once this
+# passes.
+race-kernels:
+	$(GO) test -race -short ./internal/bcrs/ ./internal/parallel/ ./internal/serve/
 
 # chaos runs the fault-injection and recovery tests — seeded chaos
 # runs must reproduce clean-run trajectories bitwise — under -race,
@@ -60,6 +69,15 @@ serve-smoke:
 # saturating-load acceptance numbers).
 bench-serve:
 	$(GO) run ./cmd/serve-bench -json $(CURDIR)/BENCH_serve.json
+
+# bench-symm races the parallel half-storage symmetric GSPMV against
+# the general kernels at equal thread counts on a banded (RCM-like,
+# -nowrap) matrix and writes BENCH_symm.json: per-(threads, m)
+# measured and model-predicted speedups, measured r(m) vs r_sym(m),
+# and the bitwise-determinism verdict. "best" holds the acceptance
+# number: the top symmetric speedup at m >= 8.
+bench-symm:
+	$(GO) run ./cmd/gspmv-bench -symmetric -nowrap -nb 150000 -bpr 20 -m 1,2,4,8,16,32 -threads 1,2 -json $(CURDIR)/BENCH_symm.json
 
 # bench-scaling sweeps the worker-pool size over full MRHS steps and
 # writes BENCH_parallel.json: per-phase seconds, speedup, and parallel

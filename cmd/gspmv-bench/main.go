@@ -4,10 +4,16 @@
 // sweeps the worker-pool size and reports the scaling table — speedup
 // and parallel efficiency per (m, threads) pair.
 //
+// With -symmetric it instead races the half-storage symmetric kernels
+// (bcrs.SymMatrix) against the general ones at every (threads, m)
+// pair, checks bitwise determinism at each fixed thread count, and
+// with -json writes the BENCH_symm.json comparison artifact.
+//
 // Example:
 //
 //	gspmv-bench -nb 50000 -bpr 24.9 -m 1,8,16
 //	gspmv-bench -threads 1,2,4,8
+//	gspmv-bench -symmetric -nowrap -m 1,4,8,16,32 -json BENCH_symm.json
 package main
 
 import (
@@ -33,6 +39,11 @@ func main() {
 		thrFlag = flag.String("threads", "1", "comma-separated kernel thread counts to sweep")
 		k       = flag.Float64("k", 3, "model k(m): extra X accesses per element")
 		obsJSON = flag.String("obs-json", "", "write an obs metrics snapshot (JSON, e.g. BENCH_obs.json) to this file after the run")
+
+		symmetric = flag.Bool("symmetric", false, "compare half-storage symmetric GSPMV against the general kernels per (threads, m)")
+		band      = flag.Int("band", 0, "matrix bandwidth in block columns (0: nb/16)")
+		noWrap    = flag.Bool("nowrap", false, "clip the band at nb instead of wrapping periodically (RCM-like structure)")
+		jsonOut   = flag.String("json", "", "symmetric mode: write the comparison artifact (BENCH_symm.json) to this file")
 	)
 	flag.Parse()
 
@@ -47,7 +58,12 @@ func main() {
 		os.Exit(1)
 	}
 
-	a := bcrs.Random(bcrs.RandomOptions{NB: *nb, BlocksPerRow: *bpr, Seed: *seed})
+	if *symmetric {
+		runSymmetric(*nb, *bpr, *band, *noWrap, *seed, *k, ms, ts, *jsonOut)
+		return
+	}
+
+	a := bcrs.Random(bcrs.RandomOptions{NB: *nb, BlocksPerRow: *bpr, Bandwidth: *band, NoWrap: *noWrap, Seed: *seed})
 	st := a.Stats()
 	fmt.Printf("matrix: nb=%d nnzb=%d nnzb/nb=%.1f (%.1f MiB)\n",
 		st.NB, st.NNZB, st.BlocksPerRow, float64(st.Bytes)/(1<<20))

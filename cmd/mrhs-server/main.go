@@ -33,6 +33,7 @@ import (
 	"repro/internal/perf"
 	"repro/internal/sd"
 	"repro/internal/serve"
+	"repro/internal/solver"
 )
 
 func main() {
@@ -47,6 +48,7 @@ func main() {
 		phi    = flag.Float64("phi", 0.30, "sd: volume occupancy")
 
 		threads    = flag.Int("threads", 1, "kernel threads")
+		symmetric  = flag.Bool("symmetric", false, "serve through half-storage symmetric GSPMV (halves matrix traffic)")
 		mode       = flag.String("mode", "fused", "batch solver: fused (bitwise-identical) or block")
 		tol        = flag.Float64("tol", 1e-6, "default relative-residual tolerance")
 		maxIter    = flag.Int("max-iter", 1000, "default iteration cap")
@@ -77,6 +79,17 @@ func main() {
 	}
 	a.SetThreads(*threads)
 
+	// The engine only needs the multiply surface, so the half-storage
+	// extraction swaps in transparently; /v1/info reports it.
+	var op solver.BlockOperator = a
+	if *symmetric {
+		sm, err := bcrs.NewSym(a)
+		if err != nil {
+			fail(err)
+		}
+		op = sm
+	}
+
 	cfg := serve.Config{
 		Tol:        *tol,
 		MaxIter:    *maxIter,
@@ -105,12 +118,12 @@ func main() {
 		fmt.Printf("metrics: serving on http://%s/metrics\n", srv.Addr())
 	}
 
-	s, err := serve.Start(*addr, serve.NewEngine(a, cfg))
+	s, err := serve.Start(*addr, serve.NewEngine(op, cfg))
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("mrhs-server: n=%d nnzb=%d mode=%s max-batch=%d threads=%d on http://%s\n",
-		a.N(), a.NNZB(), cfg.Mode, cfg.MaxBatch, *threads, s.Addr())
+	fmt.Printf("mrhs-server: n=%d nnzb=%d mode=%s max-batch=%d threads=%d symmetric=%v on http://%s\n",
+		a.N(), a.NNZB(), cfg.Mode, cfg.MaxBatch, *threads, *symmetric, s.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -16,10 +16,34 @@ func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
 func xgetbv0() (eax, edx uint32)
 func gspmvRowAVX2(vals *float64, colIdx *int32, nblk int, x *float64, yrow *float64, m int)
 
+// Implemented in sym_amd64.s.
+func symGspmvRowAVX2(vals *float64, colIdx *int32, nblk int, x, y, part *float64, i, hi, m int)
+
 // simdWidth is 8 (columns per inner-kernel call) when the host and
 // OS support AVX2, else 0. Tests may clear it to force the pure-Go
 // kernels.
 var simdWidth = detectSIMD()
+
+// symSIMDWidth is the symmetric kernel's group width: 4 when AVX2 and
+// FMA3 are available (the symmetric body keeps three vector sets
+// live, so it runs narrower groups than the general kernel's 8; its
+// scalar DAG is FMA-based, so the asm path additionally needs the FMA
+// extension). Tests may clear it to force the pure-Go kernels.
+var symSIMDWidth = detectSymSIMD()
+
+func detectSymSIMD() int {
+	if detectSIMD() == 0 {
+		return 0
+	}
+	// The symmetric kernels' operation order is an FMA chain
+	// (math.FMA in Go); matching it bitwise in asm needs FMA3.
+	_, _, c1, _ := cpuidex(1, 0)
+	const fma = 1 << 12
+	if c1&fma == 0 {
+		return 0
+	}
+	return 4
+}
 
 func detectSIMD() int {
 	maxLeaf, _, _, _ := cpuidex(0, 0)
@@ -55,5 +79,23 @@ func gspmvSIMD(rowPtr, colIdx []int32, vals, x, y []float64, m, lo, hi int) {
 			continue
 		}
 		gspmvRowAVX2(&vals[k0*BlockSize], &colIdx[k0], k1-k0, &x[0], yrow, m)
+	}
+}
+
+// symGspmvSIMD runs the AVX2 symmetric row kernel over [lo, hi),
+// honoring the symKernel contract (accumulate into pre-zeroed y rows,
+// out-of-range scatter into part). m must be a positive multiple of
+// symSIMDWidth.
+func symGspmvSIMD(rowPtr, colIdx []int32, vals, x, y, part []float64, m, lo, hi int) {
+	var pp *float64
+	if len(part) > 0 {
+		pp = &part[0]
+	}
+	for i := lo; i < hi; i++ {
+		k0, k1 := int(rowPtr[i]), int(rowPtr[i+1])
+		if k1 == k0 {
+			continue // accumulate semantics: empty rows contribute nothing
+		}
+		symGspmvRowAVX2(&vals[k0*BlockSize], &colIdx[k0], k1-k0, &x[0], &y[0], pp, i, hi, m)
 	}
 }

@@ -6,6 +6,13 @@ package bcrs
 // used for every m.
 var simdWidth = 0
 
+// symSIMDWidth mirrors simdWidth for the symmetric kernels.
+var symSIMDWidth = 0
+
 func gspmvSIMD(rowPtr, colIdx []int32, vals, x, y []float64, m, lo, hi int) {
 	panic("bcrs: gspmvSIMD without SIMD support")
+}
+
+func symGspmvSIMD(rowPtr, colIdx []int32, vals, x, y, part []float64, m, lo, hi int) {
+	panic("bcrs: symGspmvSIMD without SIMD support")
 }

@@ -19,10 +19,17 @@ import (
 // map load, two clock reads, and five atomic adds — well under 1% of
 // any multiply large enough to be worth measuring.
 
-// KernelMetricPrefix is the family prefix of the per-m kernel
+// KernelMetricPrefix is the family prefix of the per-m general-kernel
 // counters: <prefix>_{calls_total,seconds_total,flops_total,
 // bytes_total,block_rows_total}{m="<m>"}.
 const KernelMetricPrefix = "bcrs_mul"
+
+// SymKernelMetricPrefix is the family prefix of the symmetric-kernel
+// counters. Symmetric multiplies get their own families — not a label
+// on the general ones — so symmetric and general traffic stay
+// separable in /metrics and BENCH snapshots, and so reports keyed by
+// m (perf.KernelObsReport) never merge the two streams.
+const SymKernelMetricPrefix = "bcrs_sym_mul"
 
 type kernelCounters struct {
 	calls     *obs.Counter
@@ -32,21 +39,27 @@ type kernelCounters struct {
 	seconds   *obs.FloatCounter
 }
 
-var kernelByM sync.Map // int -> *kernelCounters
+type kernelKey struct {
+	prefix string
+	m      int
+}
 
-func kernelCountersFor(m int) *kernelCounters {
-	if v, ok := kernelByM.Load(m); ok {
+var kernelByM sync.Map // kernelKey -> *kernelCounters
+
+func kernelCountersFor(prefix string, m int) *kernelCounters {
+	key := kernelKey{prefix, m}
+	if v, ok := kernelByM.Load(key); ok {
 		return v.(*kernelCounters)
 	}
 	ms := strconv.Itoa(m)
 	kc := &kernelCounters{
-		calls:     obs.Default.Counter(obs.Label(KernelMetricPrefix+"_calls_total", "m", ms)),
-		flops:     obs.Default.Counter(obs.Label(KernelMetricPrefix+"_flops_total", "m", ms)),
-		bytes:     obs.Default.Counter(obs.Label(KernelMetricPrefix+"_bytes_total", "m", ms)),
-		blockRows: obs.Default.Counter(obs.Label(KernelMetricPrefix+"_block_rows_total", "m", ms)),
-		seconds:   obs.Default.FloatCounter(obs.Label(KernelMetricPrefix+"_seconds_total", "m", ms)),
+		calls:     obs.Default.Counter(obs.Label(prefix+"_calls_total", "m", ms)),
+		flops:     obs.Default.Counter(obs.Label(prefix+"_flops_total", "m", ms)),
+		bytes:     obs.Default.Counter(obs.Label(prefix+"_bytes_total", "m", ms)),
+		blockRows: obs.Default.Counter(obs.Label(prefix+"_block_rows_total", "m", ms)),
+		seconds:   obs.Default.FloatCounter(obs.Label(prefix+"_seconds_total", "m", ms)),
 	}
-	v, _ := kernelByM.LoadOrStore(m, kc)
+	v, _ := kernelByM.LoadOrStore(key, kc)
 	return v.(*kernelCounters)
 }
 
@@ -67,10 +80,22 @@ func (a *Matrix) TrafficBytes(m int) int64 {
 
 // recordMul accounts one completed multiply with m vectors.
 func (a *Matrix) recordMul(m int, secs float64) {
-	kc := kernelCountersFor(m)
+	kc := kernelCountersFor(KernelMetricPrefix, m)
 	kc.calls.Inc()
 	kc.seconds.Add(secs)
 	kc.flops.Add(a.FlopCount(m))
 	kc.bytes.Add(a.TrafficBytes(m))
 	kc.blockRows.Add(int64(a.nb))
+}
+
+// recordMul accounts one completed symmetric multiply with m vectors
+// under the bcrs_sym_mul families, keeping the half-storage traffic
+// stream separable from the general one.
+func (s *SymMatrix) recordMul(m int, secs float64) {
+	kc := kernelCountersFor(SymKernelMetricPrefix, m)
+	kc.calls.Inc()
+	kc.seconds.Add(secs)
+	kc.flops.Add(s.FlopCount(m))
+	kc.bytes.Add(s.TrafficBytes(m))
+	kc.blockRows.Add(int64(s.nb))
 }

@@ -17,6 +17,12 @@ type RandomOptions struct {
 	// spatial locality of particle-interaction matrices. Zero means
 	// NB/16.
 	Bandwidth int
+	// NoWrap clips off-diagonal columns at NB instead of wrapping
+	// them periodically. The wrap puts blocks in the matrix's far
+	// corners, which no reordered (e.g. RCM) interaction matrix has;
+	// the symmetric-kernel benchmarks use NoWrap so the scatter
+	// windows reflect the banded structure real systems present.
+	NoWrap bool
 	// Seed drives the deterministic generator.
 	Seed uint64
 }
@@ -63,7 +69,14 @@ func Random(opt RandomOptions) *Matrix {
 		}
 		for p := 0; p < k; p++ {
 			off := 1 + s.Intn(w)
-			j := (i + off) % nb
+			j := i + off
+			if opt.NoWrap {
+				if j >= nb {
+					continue
+				}
+			} else {
+				j %= nb
+			}
 			if j == i {
 				continue
 			}

@@ -1,0 +1,187 @@
+// AVX2+FMA symmetric GSPMV inner kernel: one upper-triangle block
+// row, 4 columns at a time.
+//
+// As in gspmv_amd64.s, SIMD lanes run ACROSS the right-hand sides
+// (the m dimension), never across the reduction, and each lane
+// carries one column's scalar recurrence with exactly the symmetric
+// family's operation order — the FMA chain
+//
+//	acc = fma(a_r2, x2, fma(a_r1, x1, fma(a_r0, x0, acc)))
+//
+// (see sym_kernels.go). VFMADD231PD performs the same single-rounded
+// fused step as math.FMA, so the SIMD result is bitwise-identical to
+// the pure-Go symmetric kernels; symSIMDWidth gates this path on the
+// FMA3 CPUID bit. The general kernels keep their historical
+// mul-then-add DAG — the symmetric family is defined with FMA because
+// it applies every off-diagonal block twice, and halving its ALU ops
+// is what keeps the kernel bandwidth-bound (where the half storage
+// pays off) out to large m.
+//
+// The group width is 4 (not the general kernel's 8) because the
+// symmetric body keeps three vector sets live — direct accumulators,
+// x row i for the transposed scatter, and x row j — which at width 8
+// would need 18 ymm registers.
+//
+// Each stored block is applied twice: directly into the accumulators
+// for row i (seeded from y, which carries earlier in-range scatter),
+// and — when j != i — transposed into row j, which lives in y when
+// j < hi and in the caller's partial window (block row 0 == block row
+// hi) otherwise.
+
+#include "textflag.h"
+
+// func symGspmvRowAVX2(vals *float64, colIdx *int32, nblk int, x, y, part *float64, i, hi, m int)
+//
+// Register plan: Y0..Y2 direct accumulators (rows 0..2 of y block row
+// i, one 4-column group), Y3..Y5 x block row i (scatter source),
+// Y6..Y8 x block row j, Y9 broadcast coefficient, Y11 scatter
+// accumulator.
+// GP: SI vals, DI colIdx, CX nblk, DX x, BX y, R8 part, AX i*3m,
+// R9 group column offset, R10 block counter, R11 j / scratch,
+// R12 3m, R13 m, R14/R15 scratch.
+TEXT ·symGspmvRowAVX2(SB), NOSPLIT, $0-72
+	MOVQ  vals+0(FP), SI
+	MOVQ  colIdx+8(FP), DI
+	MOVQ  nblk+16(FP), CX
+	MOVQ  x+24(FP), DX
+	MOVQ  y+32(FP), BX
+	MOVQ  part+40(FP), R8
+	MOVQ  m+64(FP), R13
+	LEAQ  (R13)(R13*2), R12 // 3m
+	MOVQ  i+48(FP), AX
+	IMULQ R12, AX           // i*3m: scalar offset of block row i
+	XORQ  R9, R9            // column group offset
+
+grouploop:
+	CMPQ R9, R13
+	JGE  done
+
+	// Load x block row i (Y3..Y5) and the accumulators from y block
+	// row i (Y0..Y2) for this column group.
+	LEAQ    (AX)(R9*1), R14
+	LEAQ    (DX)(R14*8), R15
+	VMOVUPD (R15), Y3
+	VMOVUPD (R15)(R13*8), Y4
+	LEAQ    (R15)(R13*8), R11
+	VMOVUPD (R11)(R13*8), Y5
+	LEAQ    (BX)(R14*8), R15
+	VMOVUPD (R15), Y0
+	VMOVUPD (R15)(R13*8), Y1
+	LEAQ    (R15)(R13*8), R11
+	VMOVUPD (R11)(R13*8), Y2
+	XORQ    R10, R10        // block counter
+
+blockloop:
+	CMPQ R10, CX
+	JGE  storeacc
+
+	// x block row j: x + (colIdx[k]*3m + off)*8
+	MOVLQSX (DI)(R10*4), R11
+	MOVQ    R11, R14
+	IMULQ   R12, R14
+	ADDQ    R9, R14
+	LEAQ    (DX)(R14*8), R14
+	VMOVUPD (R14), Y6
+	VMOVUPD (R14)(R13*8), Y7
+	LEAQ    (R14)(R13*8), R15
+	VMOVUPD (R15)(R13*8), Y8
+
+	// vals block pointer: vals + k*9*8
+	LEAQ (R10)(R10*8), R15
+	SHLQ $3, R15
+	ADDQ SI, R15
+
+	// Direct part, FMA chain per row:
+	// acc row r = fma(v[3r+2], xj2, fma(v[3r+1], xj1, fma(v[3r], xj0, acc))).
+	VBROADCASTSD (R15), Y9
+	VFMADD231PD  Y6, Y9, Y0
+	VBROADCASTSD 8(R15), Y9
+	VFMADD231PD  Y7, Y9, Y0
+	VBROADCASTSD 16(R15), Y9
+	VFMADD231PD  Y8, Y9, Y0
+
+	VBROADCASTSD 24(R15), Y9
+	VFMADD231PD  Y6, Y9, Y1
+	VBROADCASTSD 32(R15), Y9
+	VFMADD231PD  Y7, Y9, Y1
+	VBROADCASTSD 40(R15), Y9
+	VFMADD231PD  Y8, Y9, Y1
+
+	VBROADCASTSD 48(R15), Y9
+	VFMADD231PD  Y6, Y9, Y2
+	VBROADCASTSD 56(R15), Y9
+	VFMADD231PD  Y7, Y9, Y2
+	VBROADCASTSD 64(R15), Y9
+	VFMADD231PD  Y8, Y9, Y2
+
+	// Transposed scatter: skip the diagonal block.
+	MOVQ i+48(FP), R14
+	CMPQ R11, R14
+	JEQ  nextblk
+
+	// dst base: y when j < hi, else the partial window at j - hi.
+	MOVQ hi+56(FP), R14
+	CMPQ R11, R14
+	JLT  scat_y
+	SUBQ R14, R11
+	MOVQ R8, R14
+	JMP  scat_go
+
+scat_y:
+	MOVQ BX, R14
+
+scat_go:
+	IMULQ R12, R11
+	ADDQ  R9, R11
+	LEAQ  (R14)(R11*8), R14 // dst row 0
+
+	// dst row 0 = fma(v[6], xi2, fma(v[3], xi1, fma(v[0], xi0, dst)))
+	VMOVUPD      (R14), Y11
+	VBROADCASTSD (R15), Y9
+	VFMADD231PD  Y3, Y9, Y11
+	VBROADCASTSD 24(R15), Y9
+	VFMADD231PD  Y4, Y9, Y11
+	VBROADCASTSD 48(R15), Y9
+	VFMADD231PD  Y5, Y9, Y11
+	VMOVUPD      Y11, (R14)
+
+	// dst row 1 = fma(v[7], xi2, fma(v[4], xi1, fma(v[1], xi0, dst)))
+	VMOVUPD      (R14)(R13*8), Y11
+	VBROADCASTSD 8(R15), Y9
+	VFMADD231PD  Y3, Y9, Y11
+	VBROADCASTSD 32(R15), Y9
+	VFMADD231PD  Y4, Y9, Y11
+	VBROADCASTSD 56(R15), Y9
+	VFMADD231PD  Y5, Y9, Y11
+	VMOVUPD      Y11, (R14)(R13*8)
+
+	// dst row 2 = fma(v[8], xi2, fma(v[5], xi1, fma(v[2], xi0, dst)))
+	LEAQ         (R14)(R13*8), R11
+	VMOVUPD      (R11)(R13*8), Y11
+	VBROADCASTSD 16(R15), Y9
+	VFMADD231PD  Y3, Y9, Y11
+	VBROADCASTSD 40(R15), Y9
+	VFMADD231PD  Y4, Y9, Y11
+	VBROADCASTSD 64(R15), Y9
+	VFMADD231PD  Y5, Y9, Y11
+	VMOVUPD      Y11, (R11)(R13*8)
+
+nextblk:
+	INCQ R10
+	JMP  blockloop
+
+storeacc:
+	// Store the accumulators back to y block row i.
+	LEAQ    (AX)(R9*1), R14
+	LEAQ    (BX)(R14*8), R15
+	VMOVUPD Y0, (R15)
+	VMOVUPD Y1, (R15)(R13*8)
+	LEAQ    (R15)(R13*8), R15
+	VMOVUPD Y2, (R15)(R13*8)
+
+	ADDQ $4, R9
+	JMP  grouploop
+
+done:
+	VZEROUPPER
+	RET

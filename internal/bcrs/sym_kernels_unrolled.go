@@ -1,0 +1,219 @@
+package bcrs
+
+import "math"
+
+// Specialized symmetric GSPMV kernels for fixed vector counts m in
+// {2, 4, 8, 16, 32}, the Go analogue of the paper's per-m generated
+// kernels (Section IV-A1) applied to the half storage. Each body is
+// identical except for the compile-time constant m: the constant trip
+// count lets the compiler keep the block entries in registers and
+// eliminate bounds checks, and the stack-resident direct accumulator
+// (seeded from y to carry earlier in-range scatter) keeps row i out
+// of memory until the block row completes. The per-element operation
+// order is the symmetric family's FMA chain; see sym_kernels.go for
+// the DAG and the scatter-destination contract.
+
+func symGspmv2(rowPtr, colIdx []int32, vals, x, y, part []float64, lo, hi int) {
+	const m = 2
+	for i := lo; i < hi; i++ {
+		var acc [BlockDim * m]float64
+		yb := y[i*BlockDim*m : (i+1)*BlockDim*m : (i+1)*BlockDim*m]
+		copy(acc[:], yb)
+		xb := x[i*BlockDim*m : (i+1)*BlockDim*m : (i+1)*BlockDim*m]
+		for k := int(rowPtr[i]); k < int(rowPtr[i+1]); k++ {
+			v := vals[k*BlockSize : k*BlockSize+BlockSize : k*BlockSize+BlockSize]
+			j := int(colIdx[k])
+			xo := j * BlockDim * m
+			xj := x[xo : xo+BlockDim*m : xo+BlockDim*m]
+			a00, a01, a02 := v[0], v[1], v[2]
+			a10, a11, a12 := v[3], v[4], v[5]
+			a20, a21, a22 := v[6], v[7], v[8]
+			for q := 0; q < m; q++ {
+				x0, x1, x2 := xj[q], xj[m+q], xj[2*m+q]
+				acc[q] = math.FMA(a02, x2, math.FMA(a01, x1, math.FMA(a00, x0, acc[q])))
+				acc[m+q] = math.FMA(a12, x2, math.FMA(a11, x1, math.FMA(a10, x0, acc[m+q])))
+				acc[2*m+q] = math.FMA(a22, x2, math.FMA(a21, x1, math.FMA(a20, x0, acc[2*m+q])))
+			}
+			if j != i {
+				var dst []float64
+				if j < hi {
+					dst = y[xo : xo+BlockDim*m : xo+BlockDim*m]
+				} else {
+					po := (j - hi) * BlockDim * m
+					dst = part[po : po+BlockDim*m : po+BlockDim*m]
+				}
+				for q := 0; q < m; q++ {
+					x0, x1, x2 := xb[q], xb[m+q], xb[2*m+q]
+					dst[q] = math.FMA(a20, x2, math.FMA(a10, x1, math.FMA(a00, x0, dst[q])))
+					dst[m+q] = math.FMA(a21, x2, math.FMA(a11, x1, math.FMA(a01, x0, dst[m+q])))
+					dst[2*m+q] = math.FMA(a22, x2, math.FMA(a12, x1, math.FMA(a02, x0, dst[2*m+q])))
+				}
+			}
+		}
+		copy(yb, acc[:])
+	}
+}
+
+func symGspmv4(rowPtr, colIdx []int32, vals, x, y, part []float64, lo, hi int) {
+	const m = 4
+	for i := lo; i < hi; i++ {
+		var acc [BlockDim * m]float64
+		yb := y[i*BlockDim*m : (i+1)*BlockDim*m : (i+1)*BlockDim*m]
+		copy(acc[:], yb)
+		xb := x[i*BlockDim*m : (i+1)*BlockDim*m : (i+1)*BlockDim*m]
+		for k := int(rowPtr[i]); k < int(rowPtr[i+1]); k++ {
+			v := vals[k*BlockSize : k*BlockSize+BlockSize : k*BlockSize+BlockSize]
+			j := int(colIdx[k])
+			xo := j * BlockDim * m
+			xj := x[xo : xo+BlockDim*m : xo+BlockDim*m]
+			a00, a01, a02 := v[0], v[1], v[2]
+			a10, a11, a12 := v[3], v[4], v[5]
+			a20, a21, a22 := v[6], v[7], v[8]
+			for q := 0; q < m; q++ {
+				x0, x1, x2 := xj[q], xj[m+q], xj[2*m+q]
+				acc[q] = math.FMA(a02, x2, math.FMA(a01, x1, math.FMA(a00, x0, acc[q])))
+				acc[m+q] = math.FMA(a12, x2, math.FMA(a11, x1, math.FMA(a10, x0, acc[m+q])))
+				acc[2*m+q] = math.FMA(a22, x2, math.FMA(a21, x1, math.FMA(a20, x0, acc[2*m+q])))
+			}
+			if j != i {
+				var dst []float64
+				if j < hi {
+					dst = y[xo : xo+BlockDim*m : xo+BlockDim*m]
+				} else {
+					po := (j - hi) * BlockDim * m
+					dst = part[po : po+BlockDim*m : po+BlockDim*m]
+				}
+				for q := 0; q < m; q++ {
+					x0, x1, x2 := xb[q], xb[m+q], xb[2*m+q]
+					dst[q] = math.FMA(a20, x2, math.FMA(a10, x1, math.FMA(a00, x0, dst[q])))
+					dst[m+q] = math.FMA(a21, x2, math.FMA(a11, x1, math.FMA(a01, x0, dst[m+q])))
+					dst[2*m+q] = math.FMA(a22, x2, math.FMA(a12, x1, math.FMA(a02, x0, dst[2*m+q])))
+				}
+			}
+		}
+		copy(yb, acc[:])
+	}
+}
+
+func symGspmv8(rowPtr, colIdx []int32, vals, x, y, part []float64, lo, hi int) {
+	const m = 8
+	for i := lo; i < hi; i++ {
+		var acc [BlockDim * m]float64
+		yb := y[i*BlockDim*m : (i+1)*BlockDim*m : (i+1)*BlockDim*m]
+		copy(acc[:], yb)
+		xb := x[i*BlockDim*m : (i+1)*BlockDim*m : (i+1)*BlockDim*m]
+		for k := int(rowPtr[i]); k < int(rowPtr[i+1]); k++ {
+			v := vals[k*BlockSize : k*BlockSize+BlockSize : k*BlockSize+BlockSize]
+			j := int(colIdx[k])
+			xo := j * BlockDim * m
+			xj := x[xo : xo+BlockDim*m : xo+BlockDim*m]
+			a00, a01, a02 := v[0], v[1], v[2]
+			a10, a11, a12 := v[3], v[4], v[5]
+			a20, a21, a22 := v[6], v[7], v[8]
+			for q := 0; q < m; q++ {
+				x0, x1, x2 := xj[q], xj[m+q], xj[2*m+q]
+				acc[q] = math.FMA(a02, x2, math.FMA(a01, x1, math.FMA(a00, x0, acc[q])))
+				acc[m+q] = math.FMA(a12, x2, math.FMA(a11, x1, math.FMA(a10, x0, acc[m+q])))
+				acc[2*m+q] = math.FMA(a22, x2, math.FMA(a21, x1, math.FMA(a20, x0, acc[2*m+q])))
+			}
+			if j != i {
+				var dst []float64
+				if j < hi {
+					dst = y[xo : xo+BlockDim*m : xo+BlockDim*m]
+				} else {
+					po := (j - hi) * BlockDim * m
+					dst = part[po : po+BlockDim*m : po+BlockDim*m]
+				}
+				for q := 0; q < m; q++ {
+					x0, x1, x2 := xb[q], xb[m+q], xb[2*m+q]
+					dst[q] = math.FMA(a20, x2, math.FMA(a10, x1, math.FMA(a00, x0, dst[q])))
+					dst[m+q] = math.FMA(a21, x2, math.FMA(a11, x1, math.FMA(a01, x0, dst[m+q])))
+					dst[2*m+q] = math.FMA(a22, x2, math.FMA(a12, x1, math.FMA(a02, x0, dst[2*m+q])))
+				}
+			}
+		}
+		copy(yb, acc[:])
+	}
+}
+
+func symGspmv16(rowPtr, colIdx []int32, vals, x, y, part []float64, lo, hi int) {
+	const m = 16
+	for i := lo; i < hi; i++ {
+		var acc [BlockDim * m]float64
+		yb := y[i*BlockDim*m : (i+1)*BlockDim*m : (i+1)*BlockDim*m]
+		copy(acc[:], yb)
+		xb := x[i*BlockDim*m : (i+1)*BlockDim*m : (i+1)*BlockDim*m]
+		for k := int(rowPtr[i]); k < int(rowPtr[i+1]); k++ {
+			v := vals[k*BlockSize : k*BlockSize+BlockSize : k*BlockSize+BlockSize]
+			j := int(colIdx[k])
+			xo := j * BlockDim * m
+			xj := x[xo : xo+BlockDim*m : xo+BlockDim*m]
+			a00, a01, a02 := v[0], v[1], v[2]
+			a10, a11, a12 := v[3], v[4], v[5]
+			a20, a21, a22 := v[6], v[7], v[8]
+			for q := 0; q < m; q++ {
+				x0, x1, x2 := xj[q], xj[m+q], xj[2*m+q]
+				acc[q] = math.FMA(a02, x2, math.FMA(a01, x1, math.FMA(a00, x0, acc[q])))
+				acc[m+q] = math.FMA(a12, x2, math.FMA(a11, x1, math.FMA(a10, x0, acc[m+q])))
+				acc[2*m+q] = math.FMA(a22, x2, math.FMA(a21, x1, math.FMA(a20, x0, acc[2*m+q])))
+			}
+			if j != i {
+				var dst []float64
+				if j < hi {
+					dst = y[xo : xo+BlockDim*m : xo+BlockDim*m]
+				} else {
+					po := (j - hi) * BlockDim * m
+					dst = part[po : po+BlockDim*m : po+BlockDim*m]
+				}
+				for q := 0; q < m; q++ {
+					x0, x1, x2 := xb[q], xb[m+q], xb[2*m+q]
+					dst[q] = math.FMA(a20, x2, math.FMA(a10, x1, math.FMA(a00, x0, dst[q])))
+					dst[m+q] = math.FMA(a21, x2, math.FMA(a11, x1, math.FMA(a01, x0, dst[m+q])))
+					dst[2*m+q] = math.FMA(a22, x2, math.FMA(a12, x1, math.FMA(a02, x0, dst[2*m+q])))
+				}
+			}
+		}
+		copy(yb, acc[:])
+	}
+}
+
+func symGspmv32(rowPtr, colIdx []int32, vals, x, y, part []float64, lo, hi int) {
+	const m = 32
+	for i := lo; i < hi; i++ {
+		var acc [BlockDim * m]float64
+		yb := y[i*BlockDim*m : (i+1)*BlockDim*m : (i+1)*BlockDim*m]
+		copy(acc[:], yb)
+		xb := x[i*BlockDim*m : (i+1)*BlockDim*m : (i+1)*BlockDim*m]
+		for k := int(rowPtr[i]); k < int(rowPtr[i+1]); k++ {
+			v := vals[k*BlockSize : k*BlockSize+BlockSize : k*BlockSize+BlockSize]
+			j := int(colIdx[k])
+			xo := j * BlockDim * m
+			xj := x[xo : xo+BlockDim*m : xo+BlockDim*m]
+			a00, a01, a02 := v[0], v[1], v[2]
+			a10, a11, a12 := v[3], v[4], v[5]
+			a20, a21, a22 := v[6], v[7], v[8]
+			for q := 0; q < m; q++ {
+				x0, x1, x2 := xj[q], xj[m+q], xj[2*m+q]
+				acc[q] = math.FMA(a02, x2, math.FMA(a01, x1, math.FMA(a00, x0, acc[q])))
+				acc[m+q] = math.FMA(a12, x2, math.FMA(a11, x1, math.FMA(a10, x0, acc[m+q])))
+				acc[2*m+q] = math.FMA(a22, x2, math.FMA(a21, x1, math.FMA(a20, x0, acc[2*m+q])))
+			}
+			if j != i {
+				var dst []float64
+				if j < hi {
+					dst = y[xo : xo+BlockDim*m : xo+BlockDim*m]
+				} else {
+					po := (j - hi) * BlockDim * m
+					dst = part[po : po+BlockDim*m : po+BlockDim*m]
+				}
+				for q := 0; q < m; q++ {
+					x0, x1, x2 := xb[q], xb[m+q], xb[2*m+q]
+					dst[q] = math.FMA(a20, x2, math.FMA(a10, x1, math.FMA(a00, x0, dst[q])))
+					dst[m+q] = math.FMA(a21, x2, math.FMA(a11, x1, math.FMA(a01, x0, dst[m+q])))
+					dst[2*m+q] = math.FMA(a22, x2, math.FMA(a12, x1, math.FMA(a02, x0, dst[2*m+q])))
+				}
+			}
+		}
+		copy(yb, acc[:])
+	}
+}

@@ -1,0 +1,311 @@
+package bcrs
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/multivec"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// symTestMatrices builds the symmetric matrices the parallel-schedule
+// tests sweep: a wrapped banded matrix (worst case for the scatter
+// windows — corner blocks stretch them to full length), a no-wrap
+// banded matrix (the RCM-like shape the benchmarks use), and a tiny
+// dense-ish one where every range scatters into every other.
+func symTestMatrices() map[string]*Matrix {
+	return map[string]*Matrix{
+		"wrapped":   Random(RandomOptions{NB: 150, BlocksPerRow: 8, Seed: 21}),
+		"banded":    Random(RandomOptions{NB: 200, BlocksPerRow: 10, Bandwidth: 12, NoWrap: true, Seed: 22}),
+		"dense-ish": Random(RandomOptions{NB: 24, BlocksPerRow: 12, Bandwidth: 24, Seed: 23}),
+	}
+}
+
+// TestSymParallelMulMatchesGeneral is the property test: the parallel
+// symmetric Mul must match the general Mul within round-off for every
+// kernel width (specialized, generic, and SIMD-served) across thread
+// counts, including thread counts that exceed the pool size.
+func TestSymParallelMulMatchesGeneral(t *testing.T) {
+	for name, a := range symTestMatrices() {
+		s, err := NewSym(a)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, threads := range []int{1, 2, 3, 5, 8} {
+			s.SetThreads(threads)
+			for _, m := range []int{1, 2, 3, 4, 5, 8, 16, 32} {
+				r := rng.New(uint64(m)*31 + uint64(threads))
+				x := multivec.New(a.N(), m)
+				for i := range x.Data {
+					x.Data[i] = r.Normal()
+				}
+				y := multivec.New(a.N(), m)
+				s.Mul(y, x)
+				ref := multivec.New(a.N(), m)
+				a.Mul(ref, x)
+				for i := range y.Data {
+					if !almostEqual(y.Data[i], ref.Data[i], 1e-11) {
+						t.Fatalf("%s threads=%d m=%d: sym Mul differs at %d: %v vs %v",
+							name, threads, m, i, y.Data[i], ref.Data[i])
+					}
+				}
+				// MulVec against column 0 of the reference.
+				if m == 1 {
+					yv := make([]float64, a.N())
+					xv := make([]float64, a.N())
+					for i := 0; i < a.N(); i++ {
+						xv[i] = x.Data[i]
+					}
+					s.MulVec(yv, xv)
+					for i := range yv {
+						if !almostEqual(yv[i], ref.Data[i], 1e-11) {
+							t.Fatalf("%s threads=%d: sym MulVec differs at %d", name, threads, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSymMulBitwiseDeterministic checks the schedule's core guarantee:
+// at a fixed SetThreads count the result is bitwise-identical across
+// repeated runs and across worker-pool sizes — the partition and the
+// reduction order depend only on the sparsity pattern and the thread
+// count, never on scheduling.
+func TestSymMulBitwiseDeterministic(t *testing.T) {
+	for name, a := range symTestMatrices() {
+		s, err := NewSym(a)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, threads := range []int{2, 4, 7} {
+			s.SetThreads(threads)
+			for _, m := range []int{1, 4, 8, 16} {
+				r := rng.New(uint64(threads)*101 + uint64(m))
+				x := multivec.New(a.N(), m)
+				for i := range x.Data {
+					x.Data[i] = r.Normal()
+				}
+				want := multivec.New(a.N(), m)
+				s.Mul(want, x)
+				for rep := 0; rep < 3; rep++ {
+					got := multivec.New(a.N(), m)
+					// Poison so stale zeros would be caught.
+					for i := range got.Data {
+						got.Data[i] = 123
+					}
+					s.Mul(got, x)
+					for i := range got.Data {
+						if got.Data[i] != want.Data[i] {
+							t.Fatalf("%s threads=%d m=%d rep=%d: not bitwise-deterministic at %d",
+								name, threads, m, rep, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSymMulDeterministicAcrossPoolSizes runs the same fixed-thread
+// multiply under worker pools of different sizes: chunk assignment to
+// workers may differ, but the partition and reduction order must not.
+func TestSymMulDeterministicAcrossPoolSizes(t *testing.T) {
+	a := Random(RandomOptions{NB: 180, BlocksPerRow: 9, Bandwidth: 15, NoWrap: true, Seed: 31})
+	s, err := NewSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetThreads(4)
+	const m = 8
+	r := rng.New(77)
+	x := multivec.New(a.N(), m)
+	for i := range x.Data {
+		x.Data[i] = r.Normal()
+	}
+	saved := parallel.Threads()
+	defer parallel.SetThreads(saved)
+	results := make([]*multivec.MultiVec, 0, 3)
+	for _, poolSize := range []int{1, 2, 8} {
+		parallel.SetThreads(poolSize)
+		y := multivec.New(a.N(), m)
+		s.Mul(y, x)
+		results = append(results, y)
+	}
+	for k := 1; k < len(results); k++ {
+		for i := range results[0].Data {
+			if results[k].Data[i] != results[0].Data[i] {
+				t.Fatalf("pool size changed the fixed-thread result at %d", i)
+			}
+		}
+	}
+}
+
+// TestSymSIMDBitwiseMatchesGo verifies the symmetric AVX2 fast path
+// is bitwise-identical to the pure-Go symmetric kernels for every
+// width it serves, serial and parallel (partial-window scatter
+// included). Skipped on hosts without the fast path.
+func TestSymSIMDBitwiseMatchesGo(t *testing.T) {
+	if symSIMDWidth == 0 {
+		t.Skip("no symmetric SIMD fast path on this host")
+	}
+	for name, a := range symTestMatrices() {
+		s, err := NewSym(a)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, threads := range []int{1, 4} {
+			s.SetThreads(threads)
+			for _, m := range []int{4, 8, 16, 32} {
+				r := rng.New(uint64(m) + 7)
+				x := multivec.New(a.N(), m)
+				for i := range x.Data {
+					x.Data[i] = r.Normal()
+				}
+				want := multivec.New(a.N(), m)
+				got := multivec.New(a.N(), m)
+
+				saved := symSIMDWidth
+				symSIMDWidth = 0
+				s.Mul(want, x)
+				symSIMDWidth = saved
+				s.Mul(got, x)
+
+				for i := range want.Data {
+					if got.Data[i] != want.Data[i] {
+						t.Fatalf("%s threads=%d m=%d: data[%d] = %v SIMD, %v pure Go: not bitwise-identical",
+							name, threads, m, i, got.Data[i], want.Data[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSymSIMDEmptyRow covers the zero-blocks row edge for the
+// symmetric row kernel (the wrapper must skip it without disturbing
+// scatter already accumulated in that row).
+func TestSymSIMDEmptyRow(t *testing.T) {
+	if symSIMDWidth == 0 {
+		t.Skip("no symmetric SIMD fast path on this host")
+	}
+	// Row 1 has no stored upper-triangle blocks of its own but
+	// receives scatter from row 0.
+	b := NewBuilder(3)
+	b.AddDiag(2)
+	b.AddBlock(0, 1, blas.Ident3())
+	b.AddBlock(1, 0, blas.Ident3())
+	a := b.Build()
+	s, err := NewSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m = 4
+	r := rng.New(5)
+	x := multivec.New(a.N(), m)
+	for i := range x.Data {
+		x.Data[i] = r.Normal()
+	}
+	want := multivec.New(a.N(), m)
+	got := multivec.New(a.N(), m)
+	saved := symSIMDWidth
+	symSIMDWidth = 0
+	s.Mul(want, x)
+	symSIMDWidth = saved
+	s.Mul(got, x)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("data[%d] = %v, want %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestSymPerColumnBitwiseInvariance checks the invariant the solvers
+// rely on: column c of a width-m symmetric Mul is bitwise-identical
+// to MulVec of that column at the same thread count, for every m —
+// the per-column operation sequence does not depend on m.
+func TestSymPerColumnBitwiseInvariance(t *testing.T) {
+	a := Random(RandomOptions{NB: 90, BlocksPerRow: 7, Bandwidth: 10, NoWrap: true, Seed: 41})
+	s, err := NewSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{1, 3} {
+		s.SetThreads(threads)
+		for _, m := range []int{2, 4, 8, 16} {
+			r := rng.New(uint64(m) * 13)
+			x := multivec.New(a.N(), m)
+			for i := range x.Data {
+				x.Data[i] = r.Normal()
+			}
+			y := multivec.New(a.N(), m)
+			s.Mul(y, x)
+			for c := 0; c < m; c++ {
+				xc := make([]float64, a.N())
+				yc := make([]float64, a.N())
+				for i := 0; i < a.N(); i++ {
+					xc[i] = x.Data[i*m+c]
+				}
+				s.MulVec(yc, xc)
+				for i := 0; i < a.N(); i++ {
+					if yc[i] != y.Data[i*m+c] {
+						t.Fatalf("threads=%d m=%d col=%d: row %d not bitwise-equal to MulVec",
+							threads, m, c, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSymAccounting pins the symmetric flop and traffic accounting to
+// the general matrix's: same flops (every block still applied the
+// same number of times), roughly half the matrix bytes.
+func TestSymAccounting(t *testing.T) {
+	a := Random(RandomOptions{NB: 100, BlocksPerRow: 8, Seed: 51})
+	s, err := NewSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []int{1, 8} {
+		if s.FlopCount(m) != a.FlopCount(m) {
+			t.Fatalf("m=%d: sym flops %d != general %d", m, s.FlopCount(m), a.FlopCount(m))
+		}
+		symMat := s.TrafficBytes(m) - int64(a.NB())*BlockDim*int64(m)*8*3
+		genMat := a.TrafficBytes(m) - int64(a.NB())*BlockDim*int64(m)*8*3
+		wantMat := int64(s.NNZB())*(BlockSize*8+4) + int64(a.NB()+1)*4
+		if symMat != wantMat {
+			t.Fatalf("m=%d: sym matrix traffic %d, want %d", m, symMat, wantMat)
+		}
+		// nnzb_sym = (nnzb + nb)/2, so the matrix-byte ratio tends to
+		// one half as blocks-per-row grows; at bpr=8 it is ~0.56.
+		if ratio := float64(symMat) / float64(genMat); ratio > 0.60 {
+			t.Fatalf("m=%d: sym matrix traffic ratio %.3f, want ~0.5", m, ratio)
+		}
+	}
+}
+
+// TestNewSymUncheckedMatchesNewSym confirms the unchecked extraction
+// produces the identical operator for a genuinely symmetric matrix.
+func TestNewSymUncheckedMatchesNewSym(t *testing.T) {
+	a := Random(RandomOptions{NB: 60, BlocksPerRow: 6, Seed: 61})
+	s1, err := NewSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewSymUnchecked(a)
+	if s1.NNZB() != s2.NNZB() || s1.nb != s2.nb {
+		t.Fatal("unchecked extraction differs structurally")
+	}
+	for i := range s1.vals {
+		if s1.vals[i] != s2.vals[i] {
+			t.Fatal("unchecked extraction differs in values")
+		}
+	}
+	if fmt.Sprint(s1.colIdx) != fmt.Sprint(s2.colIdx) {
+		t.Fatal("unchecked extraction differs in structure")
+	}
+}

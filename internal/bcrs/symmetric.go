@@ -2,31 +2,74 @@ package bcrs
 
 import (
 	"errors"
+	"time"
 
 	"repro/internal/multivec"
+	"repro/internal/parallel"
 )
 
 // SymMatrix stores only the upper triangle (including the diagonal)
 // of a symmetric block matrix and applies each off-diagonal block
 // twice — as A_ij to x_j and as A_ij^T to x_i. This halves the matrix
-// memory traffic, which the Section IV-B model says halves the
+// memory traffic, which the Section IV-B model says roughly halves the
 // bandwidth-bound multiply time.
 //
 // The paper deliberately does not exploit symmetry ("we do not
 // exploit any symmetry in the matrices", Section IV); this type is
 // the extension quantifying what that choice left on the table. The
-// scatter to y_j makes a race-free thread decomposition nontrivial,
-// which is exactly why production SPMV libraries often skip it — the
-// implementation here is single-threaded.
+// transposed scatter to y_j is what makes a race-free thread
+// decomposition nontrivial — which is exactly why production SPMV
+// libraries often skip it. The schedule here:
+//
+//   - Block rows are split into the same nnz-balanced contiguous
+//     ranges the general kernels use (balanceRows), fixed at
+//     SetThreads time.
+//   - Each worker owns its range's y rows: it zeroes them, then runs
+//     the kernel, which accumulates the direct part A_ii..A_ij*x_j
+//     and every in-range scatter (column j inside the range) straight
+//     into y. Upper-triangle storage means scatter only ever targets
+//     rows j >= i, so in-range scatter lands on rows the owner has
+//     not finished yet or already zeroed — never on another worker's
+//     rows.
+//   - Scatter past the range end lands in a per-range partial buffer
+//     covering only the range's scatter window [hi, winHi) — winHi is
+//     the max block column referenced by the range plus one, so for
+//     banded (e.g. RCM-reordered) matrices the buffer is a bandwidth,
+//     not a full vector.
+//   - A second barrier-separated phase folds the partials into y in
+//     ascending range order per element, parallel over disjoint y
+//     rows.
+//
+// Chunk boundaries and the reduction order are pure functions of the
+// sparsity pattern and the thread count, so results are
+// bitwise-identical across runs at a fixed thread count (they differ
+// from the serial result only by the usual floating-point
+// reassociation). Per column, the operation sequence is independent
+// of m, so column c of Mul with any m is bitwise-identical to MulVec
+// of that column at the same thread count — the same invariant the
+// general kernels guarantee.
+//
+// Mul and MulVec use receiver-owned scratch for the partial buffers;
+// concurrent multiplies on the same receiver are not safe (the
+// serving dispatcher and the SD stepper both multiply serially).
 type SymMatrix struct {
 	nb     int
 	rowPtr []int32
 	colIdx []int32
 	vals   []float64
+	ndiag  int // stored diagonal blocks (scattered once, not twice)
+
+	threads int
+	ranges  []rowRange
+	winHi   []int // per range: max block column + 1, >= range hi
+	winOff  []int // per range: prefix sum of window rows (winHi - hi)
+	winRows int   // total partial-buffer block rows
+	scratch []float64
 }
 
 // NewSym extracts the symmetric storage from a full matrix. It
-// returns an error if the matrix is not numerically symmetric.
+// returns an error if the matrix is not numerically symmetric. The
+// new matrix inherits a's thread count.
 func NewSym(a *Matrix) (*SymMatrix, error) {
 	if a.NB() != a.NCB() {
 		return nil, errors.New("bcrs: NewSym requires a square matrix")
@@ -34,8 +77,30 @@ func NewSym(a *Matrix) (*SymMatrix, error) {
 	if !a.IsSymmetric(1e-12) {
 		return nil, errors.New("bcrs: NewSym requires a symmetric matrix")
 	}
+	return NewSymUnchecked(a), nil
+}
+
+// NewSymUnchecked extracts the upper triangle without verifying
+// symmetry. It exists for the per-step extraction in the SD stepper,
+// where the resistance matrix is symmetric by construction and the
+// O(nnz) verification would be pure overhead. If a is not symmetric
+// the resulting operator applies (U + U^T - D), not A.
+func NewSymUnchecked(a *Matrix) *SymMatrix {
 	s := &SymMatrix{nb: a.nb}
+	// First pass: count upper-triangle blocks so the arrays are
+	// allocated exactly once.
+	nnz := 0
+	for i := 0; i < a.nb; i++ {
+		lo, hi := a.RowBlocks(i)
+		for k := lo; k < hi; k++ {
+			if int(a.colIdx[k]) >= i {
+				nnz++
+			}
+		}
+	}
 	s.rowPtr = make([]int32, a.nb+1)
+	s.colIdx = make([]int32, 0, nnz)
+	s.vals = make([]float64, 0, nnz*BlockSize)
 	for i := 0; i < a.nb; i++ {
 		lo, hi := a.RowBlocks(i)
 		for k := lo; k < hi; k++ {
@@ -43,12 +108,20 @@ func NewSym(a *Matrix) (*SymMatrix, error) {
 			if j < i {
 				continue // lower triangle dropped
 			}
+			if j == i {
+				s.ndiag++
+			}
 			s.colIdx = append(s.colIdx, int32(j))
 			s.vals = append(s.vals, a.vals[k*BlockSize:(k+1)*BlockSize]...)
 		}
 		s.rowPtr[i+1] = int32(len(s.colIdx))
 	}
-	return s, nil
+	t := a.threads
+	if t < 1 {
+		t = 1
+	}
+	s.SetThreads(t)
+	return s
 }
 
 // NB returns the block dimension.
@@ -65,68 +138,196 @@ func (s *SymMatrix) Bytes() int64 {
 	return int64(len(s.vals))*8 + int64(len(s.colIdx))*4 + int64(len(s.rowPtr))*4
 }
 
+// Threads returns the current kernel thread count.
+func (s *SymMatrix) Threads() int { return s.threads }
+
+// SymmetricStorage marks the type as a half-storage operator so layers
+// that only hold a solver.BlockOperator (the serving engine) can
+// report symmetry without depending on the concrete type.
+func (s *SymMatrix) SymmetricStorage() bool { return true }
+
+// SetThreads sets the number of worker ranges used by the multiply
+// kernels and recomputes the nnz-balanced block-row partition plus
+// each range's scatter window. t < 1 is treated as 1.
+func (s *SymMatrix) SetThreads(t int) {
+	if t < 1 {
+		t = 1
+	}
+	s.threads = t
+	s.ranges = balanceRows(s.rowPtr, s.nb, t)
+	s.winHi = make([]int, len(s.ranges))
+	s.winOff = make([]int, len(s.ranges))
+	s.winRows = 0
+	for w, r := range s.ranges {
+		// Columns are strictly increasing within a row, so the last
+		// stored block of each row holds the row's max column.
+		win := r.hi
+		for i := r.lo; i < r.hi; i++ {
+			if k := int(s.rowPtr[i+1]); k > int(s.rowPtr[i]) {
+				if c := int(s.colIdx[k-1]) + 1; c > win {
+					win = c
+				}
+			}
+		}
+		s.winHi[w] = win
+		s.winOff[w] = s.winRows
+		s.winRows += win - r.hi
+	}
+	s.scratch = nil
+}
+
+// FlopCount returns the floating point operations performed by one
+// multiply with m vectors: every stored block is applied directly and
+// every stored off-diagonal block is applied a second time,
+// transposed, at 18 flops per application per vector — the same total
+// as the full matrix's FlopCount.
+func (s *SymMatrix) FlopCount(m int) int64 {
+	apps := 2*int64(s.NNZB()) - int64(s.ndiag)
+	return apps * 18 * int64(m)
+}
+
+// TrafficBytes returns the minimum memory traffic of one multiply
+// with m vectors under the Section IV-B1 accounting: the halved
+// matrix once, X read once, Y written with the write-allocate read
+// (2x). Partial-buffer traffic is excluded, matching the footnote-1
+// minimum-traffic convention; for banded matrices it is a small
+// fraction of the savings.
+func (s *SymMatrix) TrafficBytes(m int) int64 {
+	matrix := int64(s.NNZB())*(BlockSize*8+4) + int64(len(s.rowPtr))*4
+	x := int64(s.nb) * BlockDim * int64(m) * 8
+	y := int64(s.nb) * BlockDim * int64(m) * 8 * 2
+	return matrix + x + y
+}
+
 // MulVec computes y = A*x from the half storage.
 func (s *SymMatrix) MulVec(y, x []float64) {
 	if len(x) != s.N() || len(y) != s.N() {
 		panic("bcrs: SymMatrix MulVec dimension mismatch")
 	}
-	for i := range y {
-		y[i] = 0
-	}
-	for i := 0; i < s.nb; i++ {
-		x0, x1, x2 := x[3*i], x[3*i+1], x[3*i+2]
-		var s0, s1, s2 float64
-		for k := int(s.rowPtr[i]); k < int(s.rowPtr[i+1]); k++ {
-			v := s.vals[k*BlockSize : k*BlockSize+BlockSize : k*BlockSize+BlockSize]
-			j := int(s.colIdx[k])
-			xj0, xj1, xj2 := x[3*j], x[3*j+1], x[3*j+2]
-			s0 += v[0]*xj0 + v[1]*xj1 + v[2]*xj2
-			s1 += v[3]*xj0 + v[4]*xj1 + v[5]*xj2
-			s2 += v[6]*xj0 + v[7]*xj1 + v[8]*xj2
-			if j != i {
-				// Transposed application to the mirrored block.
-				y[3*j] += v[0]*x0 + v[3]*x1 + v[6]*x2
-				y[3*j+1] += v[1]*x0 + v[4]*x1 + v[7]*x2
-				y[3*j+2] += v[2]*x0 + v[5]*x1 + v[8]*x2
-			}
-		}
-		y[3*i] += s0
-		y[3*i+1] += s1
-		y[3*i+2] += s2
-	}
+	t0 := time.Now()
+	s.run(y, x, 1, false)
+	s.recordMul(1, time.Since(t0).Seconds())
 }
 
 // Mul computes Y = A*X for a block of vectors from the half storage.
+// For m in {1, 2, 4, 8, 16, 32} a fully-unrolled specialized kernel
+// is dispatched (with an AVX2 across-m fast path when available);
+// other m use the generic kernel.
 func (s *SymMatrix) Mul(y, x *multivec.MultiVec) {
+	s.mulMV(y, x, false)
+}
+
+// MulGenericKernel is Mul but always uses the generic kernel. It
+// exists for the kernel-dispatch ablation benchmark.
+func (s *SymMatrix) MulGenericKernel(y, x *multivec.MultiVec) {
+	s.mulMV(y, x, true)
+}
+
+func (s *SymMatrix) mulMV(y, x *multivec.MultiVec, forceGeneric bool) {
 	if x.N != s.N() || y.N != s.N() || x.M != y.M {
 		panic("bcrs: SymMatrix Mul dimension mismatch")
 	}
-	m := x.M
-	for i := range y.Data {
-		y.Data[i] = 0
+	t0 := time.Now()
+	s.run(y.Data, x.Data, x.M, forceGeneric)
+	s.recordMul(x.M, time.Since(t0).Seconds())
+}
+
+// symKernel processes block rows [lo, hi): it accumulates the direct
+// part and in-range scatter into y (whose rows [lo, hi) the caller
+// has zeroed) and out-of-range scatter (block rows >= hi) into part,
+// which covers block rows [hi, hi+len(part)/(3m)) and is pre-zeroed.
+type symKernel = func(x, y, part []float64, lo, hi int)
+
+func (s *SymMatrix) kernel(m int, forceGeneric bool) symKernel {
+	kern := func(x, y, part []float64, lo, hi int) {
+		symGspmvGeneric(s.rowPtr, s.colIdx, s.vals, x, y, part, m, lo, hi)
 	}
-	for i := 0; i < s.nb; i++ {
-		xi := x.Data[i*3*m : (i+1)*3*m]
-		yi := y.Data[i*3*m : (i+1)*3*m]
-		for k := int(s.rowPtr[i]); k < int(s.rowPtr[i+1]); k++ {
-			v := s.vals[k*BlockSize : k*BlockSize+BlockSize : k*BlockSize+BlockSize]
-			j := int(s.colIdx[k])
-			xj := x.Data[j*3*m : (j+1)*3*m]
-			for q := 0; q < m; q++ {
-				a0, a1, a2 := xj[q], xj[m+q], xj[2*m+q]
-				yi[q] += v[0]*a0 + v[1]*a1 + v[2]*a2
-				yi[m+q] += v[3]*a0 + v[4]*a1 + v[5]*a2
-				yi[2*m+q] += v[6]*a0 + v[7]*a1 + v[8]*a2
-			}
-			if j != i {
-				yj := y.Data[j*3*m : (j+1)*3*m]
-				for q := 0; q < m; q++ {
-					a0, a1, a2 := xi[q], xi[m+q], xi[2*m+q]
-					yj[q] += v[0]*a0 + v[3]*a1 + v[6]*a2
-					yj[m+q] += v[1]*a0 + v[4]*a1 + v[7]*a2
-					yj[2*m+q] += v[2]*a0 + v[5]*a1 + v[8]*a2
-				}
-			}
+	if forceGeneric {
+		return kern
+	}
+	switch m {
+	case 1:
+		kern = func(x, y, part []float64, lo, hi int) {
+			symSpmv1(s.rowPtr, s.colIdx, s.vals, x, y, part, lo, hi)
+		}
+	case 2:
+		kern = func(x, y, part []float64, lo, hi int) {
+			symGspmv2(s.rowPtr, s.colIdx, s.vals, x, y, part, lo, hi)
+		}
+	case 4:
+		kern = func(x, y, part []float64, lo, hi int) {
+			symGspmv4(s.rowPtr, s.colIdx, s.vals, x, y, part, lo, hi)
+		}
+	case 8:
+		kern = func(x, y, part []float64, lo, hi int) {
+			symGspmv8(s.rowPtr, s.colIdx, s.vals, x, y, part, lo, hi)
+		}
+	case 16:
+		kern = func(x, y, part []float64, lo, hi int) {
+			symGspmv16(s.rowPtr, s.colIdx, s.vals, x, y, part, lo, hi)
+		}
+	case 32:
+		kern = func(x, y, part []float64, lo, hi int) {
+			symGspmv32(s.rowPtr, s.colIdx, s.vals, x, y, part, lo, hi)
 		}
 	}
+	// The AVX2 fast path (bitwise-identical lanes across the m
+	// dimension) takes over every width it divides.
+	if symSIMDWidth > 0 && m >= symSIMDWidth && m%symSIMDWidth == 0 {
+		kern = func(x, y, part []float64, lo, hi int) {
+			symGspmvSIMD(s.rowPtr, s.colIdx, s.vals, x, y, part, m, lo, hi)
+		}
+	}
+	return kern
+}
+
+// run executes one multiply over flat row-major data with m columns.
+func (s *SymMatrix) run(y, x []float64, m int, forceGeneric bool) {
+	kern := s.kernel(m, forceGeneric)
+	if len(s.ranges) <= 1 {
+		clear(y)
+		kern(x, y, nil, 0, s.nb)
+		return
+	}
+	bm := BlockDim * m
+	need := s.winRows * bm
+	if cap(s.scratch) < need {
+		s.scratch = make([]float64, need)
+	}
+	scratch := s.scratch[:need]
+	ranges := s.ranges
+
+	// Phase 1: each worker zeroes and fills its own y rows plus its
+	// column-bounded partial window. Disjoint writes; no races.
+	parallel.Default().DoOp("bcrs_sym_mul", len(ranges), func(w int) {
+		r := ranges[w]
+		clear(y[r.lo*bm : r.hi*bm])
+		part := scratch[s.winOff[w]*bm : (s.winOff[w]+s.winHi[w]-r.hi)*bm]
+		clear(part)
+		kern(x, y, part, r.lo, r.hi)
+	})
+
+	// Phase 2: fold the partial windows into y, each y row touched by
+	// exactly one chunk, partials added in ascending range order — a
+	// deterministic ordered reduction at fixed thread count.
+	parallel.Default().ForOp("bcrs_sym_reduce", s.nb, 256, func(lo, hi int) {
+		for w := range ranges {
+			rhi := ranges[w].hi
+			a, b := rhi, s.winHi[w]
+			if a < lo {
+				a = lo
+			}
+			if b > hi {
+				b = hi
+			}
+			if a >= b {
+				continue
+			}
+			part := scratch[(s.winOff[w]+a-rhi)*bm : (s.winOff[w]+b-rhi)*bm]
+			dst := y[a*bm : b*bm]
+			for q, v := range part {
+				dst[q] += v
+			}
+		}
+	})
 }

@@ -1,0 +1,41 @@
+package model
+
+import "testing"
+
+func TestSymModelProperties(t *testing.T) {
+	g := GSPMV{
+		Machine: WSM,
+		Shape:   Shape{NB: 100000, NNZB: 2500000}, // ~25 blocks/row
+	}
+	for _, m := range []int{1, 2, 4, 8, 16, 32} {
+		if g.SymTrafficBytes(m) >= g.TrafficBytes(m) {
+			t.Fatalf("m=%d: symmetric traffic not smaller", m)
+		}
+		if g.TSym(m) > g.T(m) {
+			t.Fatalf("m=%d: symmetric model slower than general", m)
+		}
+		if sp := g.SymSpeedup(m); sp < 1 {
+			t.Fatalf("m=%d: speedup %v < 1", m, sp)
+		}
+		// Relative times share the general Tbw(1) baseline.
+		if r, rs := g.RelativeTime(m), g.RelativeTimeSym(m); rs > r {
+			t.Fatalf("m=%d: r_sym %v > r %v", m, rs, r)
+		}
+	}
+	// Bandwidth-bound regime: speedup should be materially above 1
+	// at small m for a matrix this dense.
+	if sp := g.SymSpeedup(1); sp < 1.2 {
+		t.Fatalf("m=1 predicted speedup %v, want well above 1", sp)
+	}
+	// The compute crossover can only move earlier.
+	if g.MSwitchSym(64) > g.MSwitch(64) {
+		t.Fatal("symmetric switch point later than general")
+	}
+	// Matrix-term halving: at the same m the traffic difference is
+	// exactly (nnzb - nnzb_sym)*(4+sa).
+	diff := g.TrafficBytes(8) - g.SymTrafficBytes(8)
+	want := float64(g.Shape.NNZB-g.Shape.SymNNZB()) * (IdxBlock + Sa)
+	if diff != want {
+		t.Fatalf("traffic difference %v, want %v", diff, want)
+	}
+}

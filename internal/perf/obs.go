@@ -25,6 +25,20 @@ type KernelObs struct {
 // a registry snapshot and derives the Table-II-style achieved rates.
 // Entries are sorted by m; ms with no recorded calls are omitted.
 func KernelObsReport(reg *obs.Registry) []KernelObs {
+	return kernelObsReport(reg, "bcrs_mul")
+}
+
+// SymKernelObsReport is KernelObsReport over the symmetric-kernel
+// counter families (bcrs_sym_mul_*), yielding the empirical r_sym(m):
+// mean symmetric multiply seconds at m relative to the symmetric m=1
+// baseline. Comparing its entries against KernelObsReport's at equal
+// m gives the measured symmetric-vs-general speedup on the production
+// multiply stream.
+func SymKernelObsReport(reg *obs.Registry) []KernelObs {
+	return kernelObsReport(reg, "bcrs_sym_mul")
+}
+
+func kernelObsReport(reg *obs.Registry, prefix string) []KernelObs {
 	if reg == nil {
 		reg = obs.Default
 	}
@@ -54,17 +68,17 @@ func KernelObsReport(reg *obs.Registry) []KernelObs {
 			continue
 		}
 		switch base {
-		case "bcrs_mul_calls_total":
+		case prefix + "_calls_total":
 			a.calls = v
-		case "bcrs_mul_flops_total":
+		case prefix + "_flops_total":
 			a.flops = v
-		case "bcrs_mul_bytes_total":
+		case prefix + "_bytes_total":
 			a.bytes = v
 		}
 	}
 	for name, v := range snap.FloatCounters {
 		base, labels := obs.SplitName(name)
-		if base != "bcrs_mul_seconds_total" {
+		if base != prefix+"_seconds_total" {
 			continue
 		}
 		if a := get(labels); a != nil {

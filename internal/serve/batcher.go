@@ -173,14 +173,21 @@ func (e *Engine) dispatch(batch []*call) {
 	case ModeBlock:
 		stats, xs = e.solveBlock(live, kernelM)
 	default:
-		bs := make([][]float64, q)
-		opts := make([]solver.Options, q)
+		// Batch scratch is dispatcher-owned and reused across batches;
+		// only xs escapes (Result.X) and stays freshly allocated. The
+		// solver workspace makes the steady-state fused path
+		// allocation-free apart from the result vectors.
+		bs := e.bsBuf[:0]
+		opts := e.optsBuf[:0]
 		for j, c := range live {
 			xs[j] = make([]float64, e.n)
-			bs[j] = c.req.B
-			opts[j] = e.colOptions(c)
+			bs = append(bs, c.req.B)
+			opts = append(opts, e.colOptions(c))
 		}
-		stats = solver.MultiCG(e.op, xs, bs, opts)
+		stats = solver.MultiCGWith(e.ws, e.op, xs, bs, opts)
+		clear(bs)   // drop request references so reuse does not pin them
+		clear(opts) // drop per-request contexts
+		e.bsBuf, e.optsBuf = bs[:0], opts[:0]
 	}
 	elapsed := time.Since(dispatchT0)
 
@@ -211,6 +218,19 @@ func (e *Engine) dispatch(batch []*call) {
 	e.itersEWMA = a*float64(sumIters)/float64(q) + (1-a)*e.itersEWMA
 }
 
+// blockPack returns the dispatcher-owned packed right-hand-side and
+// solution MultiVecs for kernel width w, allocating on first use per
+// width and reusing them across batches thereafter.
+func (e *Engine) blockPack(w int) (b, x *multivec.MultiVec) {
+	if pair, ok := e.packs[w]; ok {
+		return pair[0], pair[1]
+	}
+	b = multivec.New(e.n, w)
+	x = multivec.New(e.n, w)
+	e.packs[w] = [2]*multivec.MultiVec{b, x}
+	return b, x
+}
+
 // colOptions builds the per-request solver options.
 func (e *Engine) colOptions(c *call) solver.Options {
 	opt := solver.Options{
@@ -235,11 +255,11 @@ func (e *Engine) colOptions(c *call) solver.Options {
 // tightest tolerance in the batch.
 func (e *Engine) solveBlock(live []*call, kernelM int) ([]solver.Stats, [][]float64) {
 	q := len(live)
-	b := multivec.New(e.n, kernelM)
-	bs := make([][]float64, q)
+	b, x := e.blockPack(kernelM)
+	bs := e.bsBuf[:0]
 	opt := solver.Options{Tol: e.cfg.Tol, MaxIter: e.cfg.MaxIter, Precond: e.cfg.Precond}
-	for j, c := range live {
-		bs[j] = c.req.B
+	for _, c := range live {
+		bs = append(bs, c.req.B)
 		if c.req.Tol != 0 && (opt.Tol == 0 || c.req.Tol < opt.Tol) {
 			opt.Tol = c.req.Tol
 		}
@@ -247,8 +267,10 @@ func (e *Engine) solveBlock(live []*call, kernelM int) ([]solver.Stats, [][]floa
 			opt.MaxIter = c.req.MaxIter
 		}
 	}
-	multivec.PackColumns(b, bs)
-	x := multivec.New(e.n, kernelM)
+	multivec.PackColumns(b, bs) // fully overwrites b, zero-filling padding
+	clear(bs)
+	e.bsBuf = bs[:0]
+	clear(x.Data) // reused buffer: restore the zero initial guess
 	bst := solver.BlockCGWithFallback(e.op, x, b, opt)
 
 	stats := make([]solver.Stats, q)

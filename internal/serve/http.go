@@ -78,6 +78,9 @@ type Info struct {
 	WaitFactor float64 `json:"wait_factor"`
 	Tol        float64 `json:"tol"`
 	HasModel   bool    `json:"has_model"`
+	// Symmetric reports a half-storage (bcrs.SymMatrix) operator:
+	// every batched GSPMV moves half the matrix bytes.
+	Symmetric bool `json:"symmetric"`
 }
 
 type errorBody struct {
@@ -205,6 +208,7 @@ func Handler(e *Engine) http.Handler {
 			WaitFactor: cfg.WaitFactor,
 			Tol:        cfg.Tol,
 			HasModel:   cfg.Model != nil,
+			Symmetric:  e.Symmetric(),
 		})
 	})
 

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/multivec"
 	"repro/internal/solver"
 )
 
@@ -178,6 +179,16 @@ type Engine struct {
 	gapEWMA  float64 // seconds between arrivals, exponentially smoothed
 
 	itersEWMA float64 // dispatcher-only: observed iterations per solve
+
+	// Dispatcher-owned scratch, reused across batches. Only the single
+	// dispatcher goroutine (run) touches these, so no locking is
+	// needed; reuse keeps the steady-state dispatch path free of
+	// per-batch allocations for everything that does not escape to
+	// callers (Result.X does escape and stays freshly allocated).
+	ws      *solver.MultiCGWorkspace
+	packs   map[int][2]*multivec.MultiVec // solveBlock: kernel width -> {b, x}
+	bsBuf   [][]float64
+	optsBuf []solver.Options
 }
 
 // NewEngine starts an engine serving solves against op. Close it to
@@ -191,6 +202,8 @@ func NewEngine(op solver.BlockOperator, cfg Config) *Engine {
 		queue:     make(chan *call, cfg.QueueCap),
 		done:      make(chan struct{}),
 		itersEWMA: cfg.SeedIters,
+		ws:        solver.NewMultiCGWorkspace(),
+		packs:     map[int][2]*multivec.MultiVec{},
 	}
 	go e.run()
 	return e
@@ -198,6 +211,14 @@ func NewEngine(op solver.BlockOperator, cfg Config) *Engine {
 
 // N returns the scalar dimension requests must match.
 func (e *Engine) N() int { return e.n }
+
+// Symmetric reports whether the engine's operator is a half-storage
+// symmetric matrix (bcrs.SymMatrix), i.e. whether solves pay the
+// halved matrix-traffic cost.
+func (e *Engine) Symmetric() bool {
+	_, ok := e.op.(interface{ SymmetricStorage() bool })
+	return ok
+}
 
 // Config returns the engine's effective (defaulted) configuration.
 func (e *Engine) Config() Config { return e.cfg }

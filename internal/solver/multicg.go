@@ -46,6 +46,72 @@ func KernelCeil(q int) int {
 // preconditioner, per-request cancellation context). xs[j] supplies
 // the initial guess and receives the solution.
 func MultiCG(a BlockOperator, xs, bs [][]float64, opts []Options) []Stats {
+	return MultiCGWith(nil, a, xs, bs, opts)
+}
+
+// MultiCGWorkspace owns the scratch MultiCG needs — the per-column
+// residual/direction/product vectors and the padded pack-buffer pair
+// per kernel width — so a long-lived caller (the batching server's
+// dispatcher) can amortize allocations across batches instead of
+// paying them per solve. A workspace serves one MultiCGWith call at a
+// time; it is not safe for concurrent use.
+type MultiCGWorkspace struct {
+	n     int
+	packs map[int][2]*multivec.MultiVec // kernel width -> {px, py}
+	vecs  [][]float64                   // length-n scratch, reused across calls
+	used  int
+}
+
+// NewMultiCGWorkspace returns an empty workspace; buffers are grown on
+// first use and retained across calls.
+func NewMultiCGWorkspace() *MultiCGWorkspace {
+	return &MultiCGWorkspace{packs: map[int][2]*multivec.MultiVec{}}
+}
+
+// reset prepares the workspace for a solve over n-vectors, dropping
+// buffers if the operator dimension changed.
+func (ws *MultiCGWorkspace) reset(n int) {
+	if ws.n != n {
+		ws.n = n
+		ws.packs = map[int][2]*multivec.MultiVec{}
+		ws.vecs = nil
+	}
+	ws.used = 0
+}
+
+// vec hands out a length-n scratch vector. Contents are unspecified:
+// every MultiCG use overwrites the vector in full before reading it,
+// which is what keeps reuse bitwise-invisible.
+func (ws *MultiCGWorkspace) vec() []float64 {
+	if ws.used < len(ws.vecs) {
+		v := ws.vecs[ws.used]
+		ws.used++
+		return v
+	}
+	v := make([]float64, ws.n)
+	ws.vecs = append(ws.vecs, v)
+	ws.used++
+	return v
+}
+
+// pack returns the padded pack-buffer pair for kernel width w.
+// PackColumns zero-fills padding columns on every call, so reuse
+// cannot leak values between batches.
+func (ws *MultiCGWorkspace) pack(w int) (px, py *multivec.MultiVec) {
+	if pair, ok := ws.packs[w]; ok {
+		return pair[0], pair[1]
+	}
+	px = multivec.New(ws.n, w)
+	py = multivec.New(ws.n, w)
+	ws.packs[w] = [2]*multivec.MultiVec{px, py}
+	return px, py
+}
+
+// MultiCGWith is MultiCG solving through caller-owned scratch: ws,
+// when non-nil, supplies every temporary the solve needs. Results are
+// bitwise-identical with or without a workspace — all scratch is
+// fully overwritten before it is read.
+func MultiCGWith(ws *MultiCGWorkspace, a BlockOperator, xs, bs [][]float64, opts []Options) []Stats {
 	n := a.N()
 	q := len(xs)
 	if len(bs) != q || len(opts) != q {
@@ -61,6 +127,10 @@ func MultiCG(a BlockOperator, xs, bs [][]float64, opts []Options) []Stats {
 		return stats
 	}
 	defer recordMultiCG(stats)
+	if ws == nil {
+		ws = NewMultiCGWorkspace()
+	}
+	ws.reset(n)
 
 	type col struct {
 		x, b, r, z, p, ap []float64
@@ -72,7 +142,7 @@ func MultiCG(a BlockOperator, xs, bs [][]float64, opts []Options) []Stats {
 	for j := 0; j < q; j++ {
 		cols[j] = &col{
 			x: xs[j], b: bs[j],
-			r:   make([]float64, n),
+			r:   ws.vec(),
 			opt: opts[j].withDefaults(n),
 			st:  &stats[j],
 		}
@@ -83,8 +153,7 @@ func MultiCG(a BlockOperator, xs, bs [][]float64, opts []Options) []Stats {
 	// kernel width; the zero padding columns are ignored on unpack).
 	pool := parallel.Default()
 	w := KernelCeil(q)
-	px := multivec.New(n, w)
-	py := multivec.New(n, w)
+	px, py := ws.pack(w)
 	rcols := make([][]float64, q)
 	xcols := make([][]float64, q)
 	for j, c := range cols {
@@ -120,12 +189,13 @@ func MultiCG(a BlockOperator, xs, bs [][]float64, opts []Options) []Stats {
 		}
 		c.z = c.r
 		if c.opt.Precond != nil {
-			c.z = make([]float64, n)
+			c.z = ws.vec()
 			c.opt.Precond.Apply(c.z, c.r)
 		}
-		c.p = append([]float64(nil), c.z...)
+		c.p = ws.vec()
+		copy(c.p, c.z)
 		c.rz = blas.Dot(c.r, c.z)
-		c.ap = make([]float64, n)
+		c.ap = ws.vec()
 		active = append(active, c)
 	}
 
@@ -156,8 +226,7 @@ func MultiCG(a BlockOperator, xs, bs [][]float64, opts []Options) []Stats {
 		// specialized kernel width.
 		w = KernelCeil(len(active))
 		if px.M != w {
-			px = multivec.New(n, w)
-			py = multivec.New(n, w)
+			px, py = ws.pack(w)
 		}
 		pcols, apcols = pcols[:0], apcols[:0]
 		for _, c := range active {
