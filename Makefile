@@ -1,15 +1,22 @@
 GO ?= go
 
-.PHONY: ci vet build test race race-kernels chaos serial serve-smoke bench bench-snapshot bench-scaling bench-serve bench-symm
+# The perf artifacts the regression gate watches, and where their
+# committed (HEAD) versions are staged for comparison.
+BENCH_FILES ?= BENCH_serve.json BENCH_symm.json BENCH_parallel.json
+BENCH_BASELINE_DIR ?= .bench-baseline
+
+.PHONY: ci vet build test race race-kernels chaos serial serve-smoke bench bench-snapshot bench-scaling bench-serve bench-symm bench-diff
 
 # ci is the gate: vet, build everything, the full test suite under
 # the race detector (the obs hot paths are lock-free and the worker
 # pool is the most concurrent code in the tree; -race is what
 # validates them), the seeded fault-injection suite, the serving
 # suite (batched-vs-unbatched bitwise equivalence, shedding,
-# cancellation, drain), and one serial pass with GOMAXPROCS=1 to
-# prove nothing depends on real parallelism.
-ci: vet build race-kernels race chaos serve-smoke serial
+# cancellation, drain), one serial pass with GOMAXPROCS=1 to prove
+# nothing depends on real parallelism, and the advisory perf-
+# regression gate over the BENCH_*.json artifacts (fails only on >2x
+# regressions; warns otherwise; skips files with no baseline).
+ci: vet build race-kernels race chaos serve-smoke serial bench-diff
 
 vet:
 	$(GO) vet ./...
@@ -24,13 +31,15 @@ race:
 	$(GO) test -race ./...
 
 # race-kernels is the fast fail-first race gate over the packages the
-# parallel symmetric GSPMV touches: the two-phase scatter/reduce
+# parallel symmetric GSPMV touches — the two-phase scatter/reduce
 # schedule in bcrs, the worker pool it runs on, and the serving
-# dispatcher that reuses solver scratch across batches. Short mode
-# keeps it seconds-cheap so the full -race suite only runs once this
-# passes.
+# dispatcher that reuses solver scratch across batches — plus the obs
+# layer, whose spans and traces cross the submitter/dispatcher
+# goroutine boundary and whose scrape endpoints are hammered
+# concurrently with solving. Short mode keeps it seconds-cheap so the
+# full -race suite only runs once this passes.
 race-kernels:
-	$(GO) test -race -short ./internal/bcrs/ ./internal/parallel/ ./internal/serve/
+	$(GO) test -race -short ./internal/bcrs/ ./internal/parallel/ ./internal/serve/ ./internal/obs/
 
 # chaos runs the fault-injection and recovery tests — seeded chaos
 # runs must reproduce clean-run trajectories bitwise — under -race,
@@ -62,13 +71,29 @@ bench-snapshot: bench-scaling
 serve-smoke:
 	$(GO) test -race -run 'TestServe' ./internal/serve/
 
+# bench-diff is the advisory perf-regression gate: stage the
+# committed (HEAD) BENCH_*.json artifacts as baselines, then grade
+# the working-tree artifacts against them with direction-aware
+# per-metric tolerances. Only >2x regressions fail; smaller moves
+# warn; artifacts without a committed baseline (fresh benchmarks,
+# no git) skip cleanly.
+bench-diff:
+	@mkdir -p $(BENCH_BASELINE_DIR)
+	@for f in $(BENCH_FILES); do \
+		git show HEAD:$$f > $(BENCH_BASELINE_DIR)/$$f 2>/dev/null || rm -f $(BENCH_BASELINE_DIR)/$$f; \
+	done
+	$(GO) run ./cmd/bench-diff -baseline-dir $(BENCH_BASELINE_DIR) $(BENCH_FILES)
+
 # bench-serve measures the batching server's operating curve — open-
 # loop Poisson load sweep against a sequential m=1 CG baseline — and
 # writes the BENCH_serve.json artifact (throughput, p50/p95/p99,
 # mean batch size, shed rate per load factor; "best" holds the
-# saturating-load acceptance numbers).
+# saturating-load acceptance numbers), then prints the regression
+# diff against the committed baseline (advisory: the fresh run is
+# the artifact, the diff is the reviewer's context).
 bench-serve:
 	$(GO) run ./cmd/serve-bench -json $(CURDIR)/BENCH_serve.json
+	-$(MAKE) bench-diff BENCH_FILES=BENCH_serve.json
 
 # bench-symm races the parallel half-storage symmetric GSPMV against
 # the general kernels at equal thread counts on a banded (RCM-like,
@@ -78,6 +103,7 @@ bench-serve:
 # number: the top symmetric speedup at m >= 8.
 bench-symm:
 	$(GO) run ./cmd/gspmv-bench -symmetric -nowrap -nb 150000 -bpr 20 -m 1,2,4,8,16,32 -threads 1,2 -json $(CURDIR)/BENCH_symm.json
+	-$(MAKE) bench-diff BENCH_FILES=BENCH_symm.json
 
 # bench-scaling sweeps the worker-pool size over full MRHS steps and
 # writes BENCH_parallel.json: per-phase seconds, speedup, and parallel

@@ -59,6 +59,8 @@ func main() {
 		useModel   = flag.Bool("model", true, "calibrate this host and drive the batching window with the r(m) cost model")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/pprof separately on this address")
+		traceJSONL  = flag.String("trace-jsonl", "", "append every finished request trace as one JSON line to this file")
+		traceSample = flag.Int("trace-sample", 1, "trace every Nth engine-level request (HTTP requests are always traced; <0 disables engine-started traces)")
 	)
 	flag.Parse()
 
@@ -91,13 +93,14 @@ func main() {
 	}
 
 	cfg := serve.Config{
-		Tol:        *tol,
-		MaxIter:    *maxIter,
-		Mode:       serve.Mode(*mode),
-		MaxBatch:   *maxBatch,
-		QueueCap:   *queueCap,
-		MaxWait:    *maxWait,
-		WaitFactor: *waitFactor,
+		Tol:         *tol,
+		MaxIter:     *maxIter,
+		Mode:        serve.Mode(*mode),
+		MaxBatch:    *maxBatch,
+		QueueCap:    *queueCap,
+		MaxWait:     *maxWait,
+		WaitFactor:  *waitFactor,
+		TraceSample: *traceSample,
 	}
 	if *useModel {
 		mc := perf.CalibratedMachine()
@@ -116,6 +119,21 @@ func main() {
 		}
 		defer srv.Close()
 		fmt.Printf("metrics: serving on http://%s/metrics\n", srv.Addr())
+	}
+
+	if *traceJSONL != "" {
+		f, err := os.OpenFile(*traceJSONL, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fail(err)
+		}
+		log := obs.NewEventLog(f) // mutexed + buffered JSONL writer
+		defer log.Close()
+		obs.DefaultTracer.SetSink(func(td obs.TraceData) {
+			log.Emit("trace", map[string]any{"trace": td})
+			log.Flush() // request-scale cadence: keep the file tailable
+		})
+		defer obs.DefaultTracer.SetSink(nil)
+		fmt.Printf("traces: appending JSONL to %s\n", *traceJSONL)
 	}
 
 	s, err := serve.Start(*addr, serve.NewEngine(op, cfg))

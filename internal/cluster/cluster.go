@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bcrs"
 	"repro/internal/blas"
@@ -43,7 +44,16 @@ type Cluster struct {
 	mulSeq   atomic.Int64   // sequence number per distributed multiply
 	redSeq   atomic.Int64   // sequence number per reduction
 	nodeMuls []atomic.Int64 // per-node multiply counter (crash schedule)
+
+	trace atomic.Pointer[obs.Trace] // see AttachTrace
 }
+
+// AttachTrace routes every distributed multiply's wall time into tr
+// as cluster/mul trace spans (with the faulty-transport outcome as an
+// attribute), giving a request trace visibility into the halo-
+// exchange layer its solve crossed. A nil tr detaches. Safe to flip
+// concurrently with multiplies.
+func (c *Cluster) AttachTrace(tr *obs.Trace) { c.trace.Store(tr) }
 
 // node holds one row strip and its communication plan.
 type node struct {
@@ -271,6 +281,10 @@ func (c *Cluster) TryMul(y, x *multivec.MultiVec) error {
 	clusterBytes.Add(c.stats.VolumeBytes(m))
 	clusterHaloRows.Add(c.stats.RemoteBlockRows)
 
+	if tr := c.trace.Load(); tr != nil {
+		start := time.Now()
+		defer func() { tr.ObserveSpan("cluster/mul", time.Since(start)) }()
+	}
 	if c.inj != nil {
 		return c.mulFaulty(y, x)
 	}

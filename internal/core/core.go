@@ -249,6 +249,12 @@ type Runner struct {
 	// solve — the JSONL log from which a Table VI/VII-style phase
 	// breakdown is reproducible (see README "Observability").
 	Events *obs.EventLog
+
+	// Trace, if non-nil, additionally receives every step's and
+	// chunk's phase timings as trace spans — per-request attribution
+	// when a stepper run serves one client's trajectory (the serve
+	// tier's session workloads) rather than a global benchmark.
+	Trace *obs.Trace
 }
 
 // NewRunner wraps the starting configuration.
@@ -318,6 +324,9 @@ func (r *Runner) emitStep(rec StepRecord, alg string, before Timings) {
 	for phase, d := range deltas {
 		if d > 0 {
 			reg.ObservePhase(phase, d)
+			if r.Trace != nil {
+				r.Trace.ObserveSpan(phase, d)
+			}
 		}
 	}
 	reg.Counter(obs.Label("core_steps_total", "alg", alg)).Inc()
@@ -358,7 +367,13 @@ func (r *Runner) emitChunk(m int, st solver.BlockStats, before Timings) {
 	for phase, d := range deltas {
 		if d > 0 {
 			reg.ObservePhase(phase, d)
+			if r.Trace != nil {
+				r.Trace.ObserveSpan(phase, d)
+			}
 		}
+	}
+	if r.Trace != nil {
+		r.Trace.AddInt("cg_iterations", int64(st.Iterations))
 	}
 	reg.Counter("core_chunks_total").Inc()
 	reg.Counter("core_block_iterations_total").Add(int64(st.Iterations))

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bufio"
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"io"
@@ -117,6 +118,41 @@ func Handler(r *Registry) http.Handler {
 	})
 }
 
+// TracesHandler serves a Tracer over HTTP as JSON:
+//
+//	GET /debug/traces            {"active":N,"recent":[...],"slowest":[...]}
+//	GET /debug/traces?n=20       cap the recent list at 20 summaries
+//	GET /debug/traces?id=<id>    one full trace (spans, events, attrs), 404 if unknown
+//
+// Summaries carry identity, duration, and attributes; the single-
+// trace fetch returns the complete span and event record.
+func TracesHandler(tr *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if id := r.URL.Query().Get("id"); id != "" {
+			td, ok := tr.Get(id)
+			if !ok {
+				w.WriteHeader(http.StatusNotFound)
+				enc.Encode(map[string]string{"error": "no trace with id " + id})
+				return
+			}
+			enc.Encode(td)
+			return
+		}
+		n := 0
+		if s := r.URL.Query().Get("n"); s != "" {
+			n, _ = strconv.Atoi(s)
+		}
+		enc.Encode(struct {
+			Active  int            `json:"active"`
+			Recent  []TraceSummary `json:"recent"`
+			Slowest []TraceSummary `json:"slowest"`
+		}{tr.ActiveCount(), tr.Recent(n), tr.Slowest()})
+	})
+}
+
 // Server is a running metrics listener.
 type Server struct {
 	ln  net.Listener
@@ -128,6 +164,7 @@ type Server struct {
 //
 //	/metrics       Prometheus text exposition of the registry
 //	/metrics.json  JSON snapshot (the obs.Snapshot format)
+//	/debug/traces  recent + slowest request traces (DefaultTracer)
 //	/debug/vars    expvar (Go runtime memstats, cmdline)
 //	/debug/pprof/  pprof profiles (CPU, heap, goroutine, trace, ...)
 //
@@ -140,6 +177,7 @@ func Serve(addr string, r *Registry) (*Server, error) {
 		w.Header().Set("Content-Type", "application/json")
 		r.Snapshot().WriteJSON(w)
 	})
+	mux.Handle("/debug/traces", TracesHandler(DefaultTracer))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

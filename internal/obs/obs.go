@@ -90,16 +90,30 @@ func (g *Gauge) Value() float64 {
 // tracking the total count and sum as well. Observations are atomic;
 // concurrent Observe calls are safe.
 type Histogram struct {
-	bounds  []float64 // ascending finite upper bounds; +Inf implicit
-	buckets []atomic.Int64
-	count   atomic.Int64
-	sumBits atomic.Uint64
+	bounds    []float64 // ascending finite upper bounds; +Inf implicit
+	buckets   []atomic.Int64
+	count     atomic.Int64
+	sumBits   atomic.Uint64
+	exemplars []atomic.Pointer[Exemplar] // last exemplar per bucket
+}
+
+// Exemplar links one concrete observation — and the trace that
+// produced it — to the histogram bucket it landed in, so a moved
+// latency quantile can be chased to an actual request trace via
+// /debug/traces.
+type Exemplar struct {
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace_id"`
 }
 
 func newHistogram(bounds []float64) *Histogram {
 	b := append([]float64(nil), bounds...)
 	sort.Float64s(b)
-	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+	return &Histogram{
+		bounds:    b,
+		buckets:   make([]atomic.Int64, len(b)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(b)+1),
+	}
 }
 
 // Observe records one value.
@@ -114,6 +128,34 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one value and remembers (value, traceID) as
+// the bucket's exemplar, replacing the previous one: each bucket
+// always names the most recent trace that landed in it. An empty
+// traceID degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if traceID != "" {
+		i := sort.SearchFloat64s(h.bounds, v)
+		h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID})
+	}
+	h.Observe(v)
+}
+
+// Exemplars returns the per-bucket exemplars, parallel to the counts
+// of Buckets (nil entries where a bucket never saw an exemplar), or
+// nil when no bucket has one.
+func (h *Histogram) Exemplars() []*Exemplar {
+	var out []*Exemplar
+	for i := range h.exemplars {
+		if e := h.exemplars[i].Load(); e != nil {
+			if out == nil {
+				out = make([]*Exemplar, len(h.exemplars))
+			}
+			out[i] = e
+		}
+	}
+	return out
 }
 
 // Count returns the number of observations.

@@ -21,6 +21,10 @@ type HistogramSnapshot struct {
 	P50 float64 `json:"p50"`
 	P95 float64 `json:"p95"`
 	P99 float64 `json:"p99"`
+	// Exemplars, when present, is parallel to Counts: the most recent
+	// (value, trace ID) that landed in each bucket, linking tail
+	// buckets to concrete /debug/traces entries.
+	Exemplars []*Exemplar `json:"exemplars,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of a registry, serializable as
@@ -58,6 +62,7 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Histograms[name] = HistogramSnapshot{
 			Count: h.Count(), Sum: h.Sum(), Bounds: bounds, Counts: counts,
 			P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
+			Exemplars: h.Exemplars(),
 		}
 	}
 	return s

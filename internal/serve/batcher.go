@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/multivec"
+	"repro/internal/obs"
 	"repro/internal/solver"
 )
 
@@ -20,9 +21,22 @@ func (e *Engine) run() {
 		if !ok {
 			return
 		}
+		first.enterBatch()
 		batch := e.gather(first)
 		e.dispatch(batch)
 	}
+}
+
+// enterBatch marks the queue->batch transition on a traced call: the
+// queue_wait span ends (handed off from the submitting goroutine)
+// and the batch_wait span opens, covering the time the dispatcher
+// holds the request hoping for a fuller kernel.
+func (c *call) enterBatch() {
+	if c.tr == nil {
+		return
+	}
+	c.qspan.End()
+	c.bspan = c.tr.StartSpan("batch_wait")
 }
 
 // gather coalesces requests around first: everything already queued
@@ -40,6 +54,7 @@ func (e *Engine) gather(first *call) []*call {
 			if !ok {
 				return batch
 			}
+			c.enterBatch()
 			batch = append(batch, c)
 			continue
 		default:
@@ -55,6 +70,7 @@ func (e *Engine) gather(first *call) []*call {
 			if !ok {
 				return batch
 			}
+			c.enterBatch()
 			batch = append(batch, c)
 		case <-timer.C:
 			return batch
@@ -148,11 +164,18 @@ func (e *Engine) planWait(batch []*call, waited time.Duration) time.Duration {
 func (e *Engine) dispatch(batch []*call) {
 	dispatchT0 := time.Now()
 	queueDepth.Set(float64(len(e.queue)))
+	e.batchSeq++
 	live := batch[:0:len(batch)]
 	for _, c := range batch {
 		queueWait.Observe(dispatchT0.Sub(c.enq).Seconds())
+		if c.tr != nil {
+			c.bspan.End()
+		}
 		if c.ctx.Err() != nil {
 			canceledQueued.Inc()
+			if c.tr != nil {
+				c.tr.Event("canceled_in_queue", nil)
+			}
 			c.res <- Result{Err: ErrCanceled, QueueWait: dispatchT0.Sub(c.enq)}
 			continue
 		}
@@ -166,6 +189,17 @@ func (e *Engine) dispatch(batch []*call) {
 	kernelM := solver.KernelCeil(q)
 	if kernelM > e.cfg.MaxBatch {
 		kernelM = q
+	}
+	var solveSpans []*obs.Span
+	for _, c := range live {
+		if c.tr == nil {
+			continue
+		}
+		c.tr.SetAttr("batch", e.batchSeq)
+		c.tr.SetAttr("batch_size", int64(q))
+		c.tr.SetAttr("kernel_m", int64(kernelM))
+		c.tr.SetAttr("mode", string(e.cfg.Mode))
+		solveSpans = append(solveSpans, c.tr.StartSpan("solve"))
 	}
 	var stats []solver.Stats
 	xs := make([][]float64, q)
@@ -190,6 +224,9 @@ func (e *Engine) dispatch(batch []*call) {
 		e.bsBuf, e.optsBuf = bs[:0], opts[:0]
 	}
 	elapsed := time.Since(dispatchT0)
+	for _, sp := range solveSpans {
+		sp.End()
+	}
 
 	batches.Inc()
 	batchRHS.Add(int64(q))
@@ -202,7 +239,19 @@ func (e *Engine) dispatch(batch []*call) {
 		if !st.Converged && st.Err == nil {
 			nonConverged.Inc()
 		}
-		latency.Observe(time.Since(c.enq).Seconds())
+		if c.tr != nil {
+			// The iteration count also arrives from inside the solver
+			// (cg_iterations via the request context); these attrs are
+			// the dispatcher's view, which ModeBlock shares batch-wide.
+			c.tr.SetAttr("iterations", int64(st.Iterations))
+			c.tr.SetAttr("converged", st.Converged)
+			// Tail latencies become traceable: the request-latency
+			// histogram bucket this observation lands in remembers
+			// this trace's ID as its exemplar.
+			latency.ObserveExemplar(time.Since(c.enq).Seconds(), c.tr.ID())
+		} else {
+			latency.Observe(time.Since(c.enq).Seconds())
+		}
 		c.res <- Result{
 			X:         xs[j],
 			Stats:     st,

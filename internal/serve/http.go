@@ -87,21 +87,50 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// RequestIDHeader is the request-identity header accepted and echoed
+// by the solve endpoints. A client-supplied value becomes the
+// request's trace ID; absent one, the server generates an ID. The
+// header is echoed on every response, including 429/503/504 errors,
+// so a rejected request is still attributable in client logs.
+const RequestIDHeader = "X-Request-ID"
+
+// requestID extracts or generates the request identity and stamps it
+// on the response before anything is written.
+func requestID(e *Engine, w http.ResponseWriter, r *http.Request) string {
+	id := r.Header.Get(RequestIDHeader)
+	if id == "" {
+		id = e.cfg.Tracer.NewID()
+	} else if len(id) > 128 {
+		id = id[:128] // bound abusive header sizes in traces and logs
+	}
+	w.Header().Set(RequestIDHeader, id)
+	return id
+}
+
 // Handler returns the engine's HTTP API:
 //
-//	POST /v1/solve    solve A*x = b (request bodies batch server-side)
-//	POST /v1/sdstep   solve R*u = f, answer u and dx = dt*u
-//	GET  /healthz     200 while serving, 503 once draining
-//	GET  /v1/info     engine dimensions and batching configuration
-//	GET  /metrics     Prometheus text exposition of obs.Default
+//	POST /v1/solve     solve A*x = b (request bodies batch server-side)
+//	POST /v1/sdstep    solve R*u = f, answer u and dx = dt*u
+//	GET  /healthz      200 while serving, 503 once draining
+//	GET  /v1/info      engine dimensions and batching configuration
+//	GET  /metrics      Prometheus text exposition of obs.Default
+//	GET  /metrics.json JSON snapshot of obs.Default
+//	GET  /debug/traces recent + slowest request traces; ?id= fetches one
 //
 // Solver outcomes map onto status codes: 400 for malformed bodies or
 // dimension mismatches, 429 when the admission queue sheds, 503 while
 // draining, 504 when the request's deadline expired mid-queue or
 // mid-solve.
+//
+// Both solve endpoints accept and echo X-Request-ID (see
+// RequestIDHeader) and record a full pipeline trace under that ID:
+// queue_wait / batch_wait / solve spans, batch attribution
+// (batch, batch_size, kernel_m), solver iteration counts, and the
+// HTTP outcome, retrievable at /debug/traces?id=<id>.
 func Handler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		id := requestID(e, w, r)
 		if r.Method != http.MethodPost {
 			writeErr(w, http.StatusMethodNotAllowed, errors.New("serve: POST required"))
 			return
@@ -118,11 +147,16 @@ func Handler(e *Engine) http.Handler {
 		}
 		ctx, cancel := reqContext(r, sr.TimeoutMS)
 		defer cancel()
-		res, err := e.Submit(ctx, Req{B: b, Tol: sr.Tol, MaxIter: sr.MaxIter})
+		tr := e.cfg.Tracer.Start(id)
+		tr.SetAttr("path", "/v1/solve")
+		defer tr.Finish()
+		res, err := e.Submit(obs.ContextWithTrace(ctx, tr), Req{B: b, Tol: sr.Tol, MaxIter: sr.MaxIter})
 		if err != nil {
+			tr.SetAttr("http_status", int64(statusOf(err)))
 			writeErr(w, statusOf(err), err)
 			return
 		}
+		tr.SetAttr("http_status", int64(http.StatusOK))
 		resp := SolveResponse{
 			Converged:   res.Stats.Converged,
 			Iterations:  res.Stats.Iterations,
@@ -140,6 +174,7 @@ func Handler(e *Engine) http.Handler {
 	})
 
 	mux.HandleFunc("/v1/sdstep", func(w http.ResponseWriter, r *http.Request) {
+		id := requestID(e, w, r)
 		if r.Method != http.MethodPost {
 			writeErr(w, http.StatusMethodNotAllowed, errors.New("serve: POST required"))
 			return
@@ -160,11 +195,16 @@ func Handler(e *Engine) http.Handler {
 		}
 		ctx, cancel := reqContext(r, sr.TimeoutMS)
 		defer cancel()
-		res, err := e.Submit(ctx, Req{B: f, Tol: sr.Tol, MaxIter: sr.MaxIter})
+		tr := e.cfg.Tracer.Start(id)
+		tr.SetAttr("path", "/v1/sdstep")
+		defer tr.Finish()
+		res, err := e.Submit(obs.ContextWithTrace(ctx, tr), Req{B: f, Tol: sr.Tol, MaxIter: sr.MaxIter})
 		if err != nil {
+			tr.SetAttr("http_status", int64(statusOf(err)))
 			writeErr(w, statusOf(err), err)
 			return
 		}
+		tr.SetAttr("http_status", int64(http.StatusOK))
 		resp := SDStepResponse{
 			Converged:   res.Stats.Converged,
 			Iterations:  res.Stats.Iterations,
@@ -213,6 +253,11 @@ func Handler(e *Engine) http.Handler {
 	})
 
 	mux.Handle("/metrics", obs.Handler(obs.Default))
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		obs.Default.Snapshot().WriteJSON(w)
+	})
+	mux.Handle("/debug/traces", obs.TracesHandler(e.cfg.Tracer))
 	return mux
 }
 

@@ -10,6 +10,7 @@ import "repro/internal/obs"
 // report and the smoke test read back.
 var (
 	requests       = obs.Default.Counter("serve_requests_total")
+	traced         = obs.Default.Counter("serve_traced_total")
 	shed           = obs.Default.Counter("serve_shed_total")
 	drainRejected  = obs.Default.Counter("serve_drain_rejected_total")
 	canceled       = obs.Default.Counter("serve_canceled_total")

@@ -29,10 +29,12 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/model"
 	"repro/internal/multivec"
+	"repro/internal/obs"
 	"repro/internal/solver"
 )
 
@@ -95,6 +97,16 @@ type Config struct {
 	// SeedIters seeds the iteration-count estimate the cost model
 	// multiplies T(m) by, before real dispatches refine it. Default 50.
 	SeedIters float64
+	// Tracer receives one request trace per sampled Submit (queue
+	// wait, batch wait, solve span, batch attribution). Default
+	// obs.DefaultTracer; requests whose context already carries a
+	// trace (the HTTP layer's X-Request-ID traces) use that one
+	// regardless of sampling.
+	Tracer *obs.Tracer
+	// TraceSample traces every TraceSample-th Submit that does not
+	// carry its own trace (1: all, the default). Negative disables
+	// engine-started traces entirely.
+	TraceSample int
 }
 
 func (c Config) withDefaults() Config {
@@ -118,6 +130,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SeedIters <= 0 {
 		c.SeedIters = 50
+	}
+	if c.Tracer == nil {
+		c.Tracer = obs.DefaultTracer
+	}
+	if c.TraceSample == 0 {
+		c.TraceSample = 1
 	}
 	return c
 }
@@ -153,12 +171,22 @@ type Result struct {
 	Err error
 }
 
-// call is one queued request with its response channel.
+// call is one queued request with its response channel and, when the
+// request is traced, its trace plus the span currently open on it.
+// The spans cross goroutines by design — qspan starts on the
+// submitting goroutine and ends on the dispatcher — which the atomic
+// span end (obs.Span.End) makes safe even when both sides race to
+// close one out.
 type call struct {
 	ctx context.Context
 	req Req
 	enq time.Time
 	res chan Result // buffered(1): the dispatcher never blocks on it
+
+	tr    *obs.Trace // nil: untraced request
+	ownTr bool       // engine started the trace and must finish it
+	qspan *obs.Span  // queue_wait: enqueue -> pulled by dispatcher
+	bspan *obs.Span  // batch_wait: pulled -> batch dispatched
 }
 
 // Engine is the batching solve core: a bounded admission queue, a
@@ -178,7 +206,10 @@ type Engine struct {
 	lastArr  time.Time
 	gapEWMA  float64 // seconds between arrivals, exponentially smoothed
 
+	traceSeq atomic.Int64 // Submit counter driving TraceSample
+
 	itersEWMA float64 // dispatcher-only: observed iterations per solve
+	batchSeq  int64   // dispatcher-only: batch IDs for trace attribution
 
 	// Dispatcher-owned scratch, reused across batches. Only the single
 	// dispatcher goroutine (run) touches these, so no locking is
@@ -236,6 +267,14 @@ func (e *Engine) Draining() bool {
 // Submit enqueues a request and blocks until its batch is solved, the
 // context is done, or the request is shed. It is safe for any number
 // of concurrent callers; concurrency is what the batcher feeds on.
+//
+// Every sampled request carries an obs trace across the pipeline:
+// Submit opens the queue_wait span, the dispatcher converts it into
+// batch_wait and solve spans with batch attribution, and the solver
+// adds its iteration count through the request context. A trace
+// already present on ctx (the HTTP layer's X-Request-ID trace) is
+// adopted and left for its creator to finish; otherwise Submit
+// starts one from Config.Tracer and finishes it itself.
 func (e *Engine) Submit(ctx context.Context, req Req) (Result, error) {
 	if len(req.B) != e.n {
 		return Result{}, ErrBadRequest
@@ -255,21 +294,52 @@ func (e *Engine) Submit(ctx context.Context, req Req) (Result, error) {
 
 	requests.Inc()
 	c := &call{ctx: ctx, req: req, enq: time.Now(), res: make(chan Result, 1)}
+	if c.tr = obs.TraceFrom(ctx); c.tr == nil && e.cfg.TraceSample > 0 &&
+		e.traceSeq.Add(1)%int64(e.cfg.TraceSample) == 0 {
+		c.tr = e.cfg.Tracer.Start("")
+		c.ownTr = true
+		c.ctx = obs.ContextWithTrace(ctx, c.tr) // solver reads it from Options.Ctx
+	}
+	if c.tr != nil {
+		traced.Inc()
+		c.qspan = c.tr.StartSpan("queue_wait").Handoff() // ended by the dispatcher
+	}
 	select {
 	case e.queue <- c:
 		queueDepth.Set(float64(len(e.queue)))
 	default:
 		shed.Inc()
+		c.finishTrace("shed", ErrOverloaded)
 		return Result{}, ErrOverloaded
 	}
 	select {
 	case r := <-c.res:
+		c.finishTrace("done", r.Err)
 		return r, r.Err
 	case <-ctx.Done():
 		// The dispatcher notices the dead context at dispatch time
 		// and drops the call into its buffered channel; nobody waits.
 		canceled.Inc()
+		c.finishTrace("canceled", ErrCanceled)
 		return Result{}, ErrCanceled
+	}
+}
+
+// finishTrace closes out an engine-owned trace with the request's
+// outcome; adopted traces only gain the outcome attributes and stay
+// open for their creator. Racing the dispatcher on the open span is
+// safe: span ends are atomic and record once.
+func (c *call) finishTrace(outcome string, err error) {
+	if c.tr == nil {
+		return
+	}
+	c.qspan.End()
+	c.tr.SetAttr("outcome", outcome)
+	if err != nil {
+		c.tr.SetAttr("error", err.Error())
+	}
+	if c.ownTr {
+		c.tr.Finish()
 	}
 }
 

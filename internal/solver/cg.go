@@ -94,7 +94,7 @@ func CG(a Operator, x, b []float64, opt Options) Stats {
 	a.MulVec(r, x)
 	blas.Sub(r, b, r)
 	stats := Stats{MatMuls: 1}
-	defer func() { recordCG(&stats) }()
+	defer func() { recordCG(&stats); traceSolve(opt, &stats) }()
 
 	bnorm := blas.Nrm2(b)
 	if bnorm == 0 {

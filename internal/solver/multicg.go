@@ -171,6 +171,10 @@ func MultiCGWith(ws *MultiCGWorkspace, a BlockOperator, xs, bs [][]float64, opts
 		if c.bnorm > 0 {
 			c.st.Residual = c.rnorm / c.bnorm
 		}
+		// Each column retires exactly once; its request trace (if the
+		// serve layer attached one through Options.Ctx) receives the
+		// column's own iteration count, not the batch's.
+		traceSolve(c.opt, c.st)
 	}
 	for _, c := range cols {
 		c.st.MatMuls = 1
@@ -179,6 +183,7 @@ func MultiCGWith(ws *MultiCGWorkspace, a BlockOperator, xs, bs [][]float64, opts
 		if c.bnorm == 0 {
 			blas.Fill(c.x, 0)
 			c.st.Converged = true
+			traceSolve(c.opt, c.st)
 			continue
 		}
 		c.rnorm = blas.Nrm2(c.r)

@@ -35,6 +35,18 @@ var (
 	refineResidual = obs.Default.Histogram("solver_refine_final_residual", obs.ResidualBuckets)
 )
 
+// traceSolve adds one solve's outcome to the request trace carried
+// by its Options context (the serve pipeline threads per-request
+// traces through Ctx): the iteration count accumulates under
+// cg_iterations so a trace shows exactly how much Krylov work its
+// request cost, wherever in the stack the solve ran.
+func traceSolve(o Options, st *Stats) {
+	if tr := obs.TraceFrom(o.Ctx); tr != nil {
+		tr.AddInt("cg_iterations", int64(st.Iterations))
+		tr.AddInt("cg_matmuls", int64(st.MatMuls))
+	}
+}
+
 func recordCG(st *Stats) {
 	cgSolves.Inc()
 	cgIters.Add(int64(st.Iterations))
