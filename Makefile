@@ -2,10 +2,10 @@ GO ?= go
 
 # The perf artifacts the regression gate watches, and where their
 # committed (HEAD) versions are staged for comparison.
-BENCH_FILES ?= BENCH_serve.json BENCH_symm.json BENCH_parallel.json
+BENCH_FILES ?= BENCH_serve.json BENCH_symm.json BENCH_parallel.json BENCH_ensemble.json
 BENCH_BASELINE_DIR ?= .bench-baseline
 
-.PHONY: ci vet build test race race-kernels chaos serial serve-smoke bench bench-snapshot bench-scaling bench-serve bench-symm bench-diff
+.PHONY: ci docs-gate vet build test race race-kernels chaos serial serve-smoke bench bench-snapshot bench-scaling bench-serve bench-symm bench-ensemble bench-diff
 
 # ci is the gate: vet, build everything, the full test suite under
 # the race detector (the obs hot paths are lock-free and the worker
@@ -16,7 +16,13 @@ BENCH_BASELINE_DIR ?= .bench-baseline
 # nothing depends on real parallelism, and the advisory perf-
 # regression gate over the BENCH_*.json artifacts (fails only on >2x
 # regressions; warns otherwise; skips files with no baseline).
-ci: vet build race-kernels race chaos serve-smoke serial bench-diff
+ci: vet build docs-gate race-kernels race chaos serve-smoke serial bench-diff
+
+# docs-gate fails when an internal/ package lacks a package comment or
+# a tracked markdown file has a broken relative link — documentation
+# drift is a build failure, not a review nit.
+docs-gate:
+	$(GO) run ./cmd/docs-gate
 
 vet:
 	$(GO) vet ./...
@@ -94,6 +100,16 @@ bench-diff:
 bench-serve:
 	$(GO) run ./cmd/serve-bench -json $(CURDIR)/BENCH_serve.json
 	-$(MAKE) bench-diff BENCH_FILES=BENCH_serve.json
+
+# bench-ensemble sweeps fused K-wide ensemble requests (K member
+# right-hand sides per atomic submission) against the same sequential
+# m=1 baseline, at ensemble-request rates below saturation, and writes
+# BENCH_ensemble.json. "best_low_load" holds the acceptance number:
+# member-solve speedup >= 1 at load_factor < 2, the regime where
+# single-RHS traffic batching regresses below 1x.
+bench-ensemble:
+	$(GO) run ./cmd/serve-bench -ensemble 1,4,8,16 -load 0.5,1,1.5 -json $(CURDIR)/BENCH_ensemble.json
+	-$(MAKE) bench-diff BENCH_FILES=BENCH_ensemble.json
 
 # bench-symm races the parallel half-storage symmetric GSPMV against
 # the general kernels at equal thread counts on a banded (RCM-like,

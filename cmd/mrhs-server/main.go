@@ -10,6 +10,7 @@
 //	mrhs-server -addr :8707 -matrix random -nb 2000 -bpr 6
 //	mrhs-server -matrix sd -n 500 -phi 0.30 -mode fused
 //	curl -s localhost:8707/v1/solve -d '{"seed":1,"omit_x":true}'
+//	curl -s localhost:8707/v1/ensemble -d '{"members":8,"seed":1,"omit_x":true}'
 //
 // SIGINT/SIGTERM triggers a graceful drain: new requests get 503,
 // queued batches are flushed and answered, then the process exits.
@@ -56,6 +57,7 @@ func main() {
 		queueCap   = flag.Int("queue-cap", 0, "admission queue bound (0: 4*max-batch)")
 		maxWait    = flag.Duration("max-wait", 2*time.Millisecond, "hard cap on the batching window")
 		waitFactor = flag.Float64("wait-factor", 1.5, "latency stretch allowed to reach the next kernel size")
+		ensemble   = flag.Int("ensemble", 4, "default member count for /v1/ensemble requests that give only a seed")
 		useModel   = flag.Bool("model", true, "calibrate this host and drive the batching window with the r(m) cost model")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/pprof separately on this address")
@@ -98,9 +100,10 @@ func main() {
 		Mode:        serve.Mode(*mode),
 		MaxBatch:    *maxBatch,
 		QueueCap:    *queueCap,
-		MaxWait:     *maxWait,
-		WaitFactor:  *waitFactor,
-		TraceSample: *traceSample,
+		MaxWait:         *maxWait,
+		WaitFactor:      *waitFactor,
+		TraceSample:     *traceSample,
+		DefaultEnsemble: *ensemble,
 	}
 	if *useModel {
 		mc := perf.CalibratedMachine()

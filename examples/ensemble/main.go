@@ -1,0 +1,72 @@
+// Ensemble quickstart: advance K independent Stokesian-dynamics
+// trajectories in lockstep, their per-member right-hand sides fused
+// into single MultiCG solves so every solve runs the GSPMV at kernel
+// width m >= K — the MRHS economics without waiting for traffic.
+//
+// Each member is bitwise-identical to the same trajectory run alone
+// at its seed (the fused solve routes every column through its own
+// member's resistance matrix), so the ensemble is a pure speed
+// mechanism; the divergence statistics printed at the end are the
+// scientific payload — how fast trajectories that differ only in
+// their noise seed spread apart.
+//
+// Run with: go run ./examples/ensemble
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/hydro"
+	"repro/internal/particles"
+	"repro/internal/sd"
+)
+
+func main() {
+	// A small crowded system; ensembles shine regardless of size
+	// because the kernel width comes from the member count, not from
+	// how many requests happen to be in flight.
+	sys, err := particles.New(particles.Options{N: 500, Phi: 0.3, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("system: %d particles, box %.0f A\n", sys.N, sys.Box)
+
+	const members = 8
+	seeds := make([]uint64, members)
+	for i := range seeds {
+		seeds[i] = uint64(100 + i)
+	}
+
+	// Jitter perturbs each member's starting coordinates by a
+	// seed-deterministic Gaussian displacement, so the ensemble
+	// samples nearby initial conditions rather than only noise
+	// realizations.
+	ens, err := sd.NewEnsemble(sys, hydro.Options{}, core.Config{
+		Dt:   1.0,
+		M:    1, // ensemble width already fills the kernel
+		Tol:  1e-4,
+		Seed: 1, // overridden per member by Seeds
+	}, 1, sd.EnsembleOptions{Seeds: seeds, Jitter: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const steps = 8
+	if err := ens.Run(steps); err != nil {
+		log.Fatal(err)
+	}
+
+	per := ens.Timings.PerStep()
+	fmt.Printf("\n%d members x %d steps, fused solves at kernel m >= %d\n",
+		members, steps, members)
+	fmt.Printf("average step time: %.4fs (all members advanced together)\n",
+		per["Average"])
+
+	fmt.Printf("\ndivergence (cross-member RMSD, Angstroms):\n")
+	for _, p := range ens.Divergence {
+		fmt.Printf("  step %2d: mean %.4g  max %.4g\n", p.Step, p.MeanRMSD, p.MaxRMSD)
+	}
+	fmt.Printf("spread growth rate: %.4g per step\n", ens.SpreadGrowthRate())
+}

@@ -1,29 +1,3 @@
-// Package core implements the paper's primary contribution: the
-// Multiple Right-Hand Sides (MRHS) algorithm for dynamical
-// simulations (Algorithm 2).
-//
-// A first-order stochastic dynamical simulation solves, at every time
-// step k, a linear system R_k u_k = -f_k whose matrix evolves slowly
-// with the configuration but whose right-hand side is fresh random
-// noise. Because the right-hand sides arrive one at a time, the
-// efficient multiple-vector kernel GSPMV seems unusable. The MRHS
-// idea: at the start of every chunk of m steps, solve the *augmented*
-// system
-//
-//	R_0 [u_0, u'_1, ..., u'_{m-1}] = -S(R_0) [z_0, z_1, ..., z_{m-1}]
-//
-// with a block iterative method. One block solve costs little more
-// than a single-vector solve (every iteration is one GSPMV), yet it
-// yields the exact solution for step 0 and — because R_k stays close
-// to R_0 — good initial guesses u'_k for the remaining m-1 steps,
-// whose warm-started solves then need 30-40% fewer iterations.
-//
-// The package is generic over a Configuration interface so the
-// technique applies beyond Stokesian dynamics, as the paper suggests;
-// internal/sd provides the SD instantiation. Time integration is the
-// overlap-tolerant explicit midpoint method required by
-// configuration-dependent mobility (two solves per step, the second
-// warm-started from the first in both algorithms).
 package core
 
 import (

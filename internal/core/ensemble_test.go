@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bcrs"
+	"repro/internal/solver"
+)
+
+// RMSD makes toyConfig comparable so ensemble divergence tracking is
+// testable on the toy system: plain Euclidean RMS over the state (the
+// toy has no periodic box).
+func (c *toyConfig) RMSD(other Configuration) float64 {
+	o := other.(*toyConfig)
+	var sum float64
+	for i := range c.state {
+		d := c.state[i] - o.state[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(c.state)))
+}
+
+// TestEnsembleBitwiseMatchesLoneRuns is the tentpole guarantee: a
+// K-member fused ensemble run must leave every member in exactly —
+// bitwise — the state that running that member alone with RunOriginal
+// produces, because the fused MultiCG columns multiply through each
+// member's own operator.
+func TestEnsembleBitwiseMatchesLoneRuns(t *testing.T) {
+	const steps = 5
+	for _, k := range []int{1, 2, 4} {
+		seeds := make([]uint64, k)
+		for i := range seeds {
+			seeds[i] = uint64(100 + 7*i)
+		}
+		cfg := Config{Dt: 0.1, Seed: 999} // Seed overridden per member
+		ens, err := NewEnsemble(newToy(20, 2), cfg, EnsembleOptions{Seeds: seeds})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ens.Run(steps); err != nil {
+			t.Fatal(err)
+		}
+		for i, seed := range seeds {
+			lone := NewRunner(newToy(20, 2), Config{Dt: 0.1, Seed: seed})
+			if err := lone.RunOriginal(steps); err != nil {
+				t.Fatal(err)
+			}
+			got := ens.Member(i).Current().(*toyConfig).state
+			want := lone.Current().(*toyConfig).state
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("k=%d member=%d state[%d]: fused %v vs lone %v: not bitwise",
+						k, i, j, got[j], want[j])
+				}
+			}
+			// Convergence records must match too: fused columns run the
+			// identical iterate sequences.
+			gr, wr := ens.Member(i).Records, lone.Records
+			if len(gr) != len(wr) {
+				t.Fatalf("k=%d member=%d: %d records vs %d", k, i, len(gr), len(wr))
+			}
+			for s := range wr {
+				if gr[s].FirstIters != wr[s].FirstIters || gr[s].SecondIters != wr[s].SecondIters {
+					t.Fatalf("k=%d member=%d step=%d iters (%d,%d) vs (%d,%d)",
+						k, i, s, gr[s].FirstIters, gr[s].SecondIters, wr[s].FirstIters, wr[s].SecondIters)
+				}
+			}
+		}
+	}
+}
+
+// TestEnsembleDivergenceStats pins the divergence-tracking contract:
+// one point per step, spread strictly positive once the noise streams
+// separate the members, mean <= max, monotone-consistent with a
+// direct recomputation from the final member states.
+func TestEnsembleDivergenceStats(t *testing.T) {
+	const steps = 6
+	ens, err := NewEnsemble(newToy(15, 3), Config{Dt: 0.1}, EnsembleOptions{
+		Seeds: []uint64{1, 2, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ens.Run(steps); err != nil {
+		t.Fatal(err)
+	}
+	if len(ens.Divergence) != steps {
+		t.Fatalf("%d divergence points, want %d", len(ens.Divergence), steps)
+	}
+	for s, p := range ens.Divergence {
+		if p.Step != s+1 {
+			t.Fatalf("point %d has Step=%d", s, p.Step)
+		}
+		if p.MeanRMSD <= 0 || p.MaxRMSD < p.MeanRMSD {
+			t.Fatalf("step %d: mean=%v max=%v", p.Step, p.MeanRMSD, p.MaxRMSD)
+		}
+	}
+	// The last point must equal a direct pairwise recomputation.
+	var mean, max float64
+	pairs := 0
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			ci := ens.Member(i).Current().(*toyConfig)
+			d := ci.RMSD(ens.Member(j).Current())
+			mean += d
+			if d > max {
+				max = d
+			}
+			pairs++
+		}
+	}
+	mean /= float64(pairs)
+	last := ens.Divergence[steps-1]
+	if last.MeanRMSD != mean || last.MaxRMSD != max {
+		t.Fatalf("recorded (%v,%v) != recomputed (%v,%v)", last.MeanRMSD, last.MaxRMSD, mean, max)
+	}
+	// Independent noise drives the members apart: the spread at the
+	// end must exceed the spread after the first step, and the fitted
+	// growth rate must be positive.
+	if last.MeanRMSD <= ens.Divergence[0].MeanRMSD {
+		t.Fatalf("spread did not grow: %v -> %v", ens.Divergence[0].MeanRMSD, last.MeanRMSD)
+	}
+	if r := ens.SpreadGrowthRate(); r <= 0 {
+		t.Fatalf("spread growth rate %v, want positive", r)
+	}
+}
+
+// TestEnsembleRejectsBadOptions covers the constructor's validation.
+func TestEnsembleRejectsBadOptions(t *testing.T) {
+	if _, err := NewEnsemble(newToy(5, 1), Config{}, EnsembleOptions{}); err == nil {
+		t.Fatal("empty Seeds accepted")
+	}
+	hook := Config{FirstSolve: func(a *bcrs.Matrix, x, b []float64, o solver.Options) solver.Stats {
+		return solver.Stats{}
+	}}
+	if _, err := NewEnsemble(newToy(5, 1), hook, EnsembleOptions{Seeds: []uint64{1}}); err == nil {
+		t.Fatal("FirstSolve hook accepted")
+	}
+	if _, err := NewEnsemble(newToy(5, 1), Config{Recovery: &Recovery{}}, EnsembleOptions{Seeds: []uint64{1}}); err == nil {
+		t.Fatal("Recovery accepted")
+	}
+}
+
+// TestEnsemblePerturbAppliesPerMember: the Perturb hook derives each
+// member's start, and an unperturbed K=2 ensemble with equal seeds
+// stays exactly coincident (divergence identically zero).
+func TestEnsemblePerturbAppliesPerMember(t *testing.T) {
+	perturbed := 0
+	ens, err := NewEnsemble(newToy(8, 4), Config{Dt: 0.1}, EnsembleOptions{
+		Seeds: []uint64{5, 5},
+		Perturb: func(i int, base Configuration) Configuration {
+			perturbed++
+			return base.Displaced(make([]float64, base.Dim()), 0)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perturbed != 2 {
+		t.Fatalf("Perturb called %d times", perturbed)
+	}
+	if err := ens.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ens.Divergence {
+		if p.MaxRMSD != 0 {
+			t.Fatalf("identical seeds diverged: %+v", p)
+		}
+	}
+}

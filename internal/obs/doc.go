@@ -1,0 +1,27 @@
+// Package obs is the observability layer of the MRHS stack: a
+// lightweight, dependency-free metrics registry plus span timers,
+// Prometheus-style text exposition, JSON snapshots, request traces,
+// and a structured JSONL event log.
+//
+// The paper's whole argument rests on measured quantities — relative
+// kernel times r(m), per-phase timing breakdowns of Algorithm 1 vs
+// Algorithm 2, solver iteration counts, and communication volume.
+// Every subsystem reports into this package so those quantities are
+// derivable at runtime instead of being recomputed ad hoc: the
+// BCRS kernels count flops, bytes, and block rows per vector count m;
+// the solvers count iterations and record residual histograms; the
+// core stepper records per-phase seconds; the simulated cluster
+// counts halo messages and bytes; the serving tier attributes queue
+// wait, batch width, and the kernel m each request actually ran at.
+//
+// Hot paths are atomic: a Counter.Add is one atomic add, so counting
+// inside the GSPMV kernel costs a few nanoseconds against a multiply
+// measured in microseconds. Metric handles should be looked up once
+// (package variable or cached struct) and then used directly.
+//
+// Metric naming follows Prometheus conventions: snake_case names,
+// `_total` suffix for monotonic counters, unit suffixes (`_seconds`,
+// `_bytes`, `_flops`). Labels are encoded into the metric name with
+// Label (`name{key="value"}`); the full labeled string is the
+// registry key.
+package obs

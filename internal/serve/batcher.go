@@ -17,11 +17,19 @@ import (
 func (e *Engine) run() {
 	defer close(e.done)
 	for {
-		first, ok := <-e.queue
-		if !ok {
-			return
+		// A call pulled by the previous gather that did not fit its
+		// batch (an ensemble would have pushed the width past MaxBatch)
+		// seeds the next batch instead of being requeued.
+		first := e.carry
+		e.carry = nil
+		if first == nil {
+			var ok bool
+			first, ok = <-e.queue
+			if !ok {
+				return
+			}
+			first.enterBatch()
 		}
-		first.enterBatch()
 		batch := e.gather(first)
 		e.dispatch(batch)
 	}
@@ -39,27 +47,40 @@ func (c *call) enterBatch() {
 	c.bspan = c.tr.StartSpan("batch_wait")
 }
 
-// gather coalesces requests around first: everything already queued
-// is taken immediately; after that the planner decides, from the
-// r(m) cost model and the arrival-rate estimate, whether dispatching
-// now beats holding the batch open for a fuller kernel.
+// gather coalesces submissions around first: everything already
+// queued is taken immediately; after that the planner decides, from
+// the r(m) cost model and the arrival-rate estimate, whether
+// dispatching now beats holding the batch open for a fuller kernel.
+// Widths are counted in right-hand sides, not calls — an ensemble
+// call contributes all its members at once. A pulled call that would
+// push the batch past MaxBatch is carried over to seed the next batch
+// (calls are never split across dispatches).
 func (e *Engine) gather(first *call) []*call {
 	batch := []*call{first}
+	width := first.width()
 	start := time.Now()
-	for len(batch) < e.cfg.MaxBatch {
+	take := func(c *call) bool {
+		c.enterBatch()
+		if width+c.width() > e.cfg.MaxBatch {
+			e.carry = c
+			return false
+		}
+		batch = append(batch, c)
+		width += c.width()
+		return true
+	}
+	for width < e.cfg.MaxBatch {
 		// Drain whatever is already waiting — taking a queued request
 		// is always free.
 		select {
 		case c, ok := <-e.queue:
-			if !ok {
+			if !ok || !take(c) {
 				return batch
 			}
-			c.enterBatch()
-			batch = append(batch, c)
 			continue
 		default:
 		}
-		w := e.planWait(batch, time.Since(start))
+		w := e.planWait(width, batch, time.Since(start))
 		if w <= 0 {
 			break
 		}
@@ -67,11 +88,9 @@ func (e *Engine) gather(first *call) []*call {
 		select {
 		case c, ok := <-e.queue:
 			timer.Stop()
-			if !ok {
+			if !ok || !take(c) {
 				return batch
 			}
-			c.enterBatch()
-			batch = append(batch, c)
 		case <-timer.C:
 			return batch
 		}
@@ -79,9 +98,9 @@ func (e *Engine) gather(first *call) []*call {
 	return batch
 }
 
-// planWait is the dispatch-now-vs-wait decision. With q requests in
-// hand it returns how much longer to hold the batch open, or <= 0 to
-// dispatch immediately.
+// planWait is the dispatch-now-vs-wait decision. With q right-hand
+// sides in hand it returns how much longer to hold the batch open, or
+// <= 0 to dispatch immediately.
 //
 // The target is the next useful width: filling the zero-padding of
 // the current kernel ceiling costs no extra kernel time (a padded
@@ -98,8 +117,7 @@ func (e *Engine) gather(first *call) []*call {
 // wait actually scheduled is the arrival-rate estimate of the time to
 // fill the target, clamped by that budget, by each request's context
 // deadline slack, and by the hard MaxWait cap.
-func (e *Engine) planWait(batch []*call, waited time.Duration) time.Duration {
-	q := len(batch)
+func (e *Engine) planWait(q int, batch []*call, waited time.Duration) time.Duration {
 	if q >= e.cfg.MaxBatch {
 		return 0
 	}
@@ -158,9 +176,10 @@ func (e *Engine) planWait(batch []*call, waited time.Duration) time.Duration {
 	return budget
 }
 
-// dispatch solves one coalesced batch and demultiplexes per-request
-// results. Requests whose context died while queued are answered with
-// ErrCanceled without touching the solver.
+// dispatch solves one coalesced batch and demultiplexes per-call
+// results. Calls whose context died while queued are answered with
+// ErrCanceled without touching the solver. Ensemble calls contribute
+// all their members as adjacent columns of the same fused solve.
 func (e *Engine) dispatch(batch []*call) {
 	dispatchT0 := time.Now()
 	queueDepth.Set(float64(len(e.queue)))
@@ -176,7 +195,11 @@ func (e *Engine) dispatch(batch []*call) {
 			if c.tr != nil {
 				c.tr.Event("canceled_in_queue", nil)
 			}
-			c.res <- Result{Err: ErrCanceled, QueueWait: dispatchT0.Sub(c.enq)}
+			rs := make([]Result, c.width())
+			for i := range rs {
+				rs[i] = Result{Err: ErrCanceled, QueueWait: dispatchT0.Sub(c.enq)}
+			}
+			c.res <- rs
 			continue
 		}
 		live = append(live, c)
@@ -185,7 +208,10 @@ func (e *Engine) dispatch(batch []*call) {
 		return
 	}
 
-	q := len(live)
+	q := 0
+	for _, c := range live {
+		q += c.width()
+	}
 	kernelM := solver.KernelCeil(q)
 	if kernelM > e.cfg.MaxBatch {
 		kernelM = q
@@ -205,7 +231,7 @@ func (e *Engine) dispatch(batch []*call) {
 	xs := make([][]float64, q)
 	switch e.cfg.Mode {
 	case ModeBlock:
-		stats, xs = e.solveBlock(live, kernelM)
+		stats, xs = e.solveBlock(live, q, kernelM)
 	default:
 		// Batch scratch is dispatcher-owned and reused across batches;
 		// only xs escapes (Result.X) and stays freshly allocated. The
@@ -213,10 +239,14 @@ func (e *Engine) dispatch(batch []*call) {
 		// allocation-free apart from the result vectors.
 		bs := e.bsBuf[:0]
 		opts := e.optsBuf[:0]
-		for j, c := range live {
-			xs[j] = make([]float64, e.n)
-			bs = append(bs, c.req.B)
-			opts = append(opts, e.colOptions(c))
+		j := 0
+		for _, c := range live {
+			for _, r := range c.reqs {
+				xs[j] = make([]float64, e.n)
+				bs = append(bs, r.B)
+				opts = append(opts, e.colOptions(c, r))
+				j++
+			}
 		}
 		stats = solver.MultiCGWith(e.ws, e.op, xs, bs, opts)
 		clear(bs)   // drop request references so reuse does not pin them
@@ -233,18 +263,37 @@ func (e *Engine) dispatch(batch []*call) {
 	batchSize.Observe(float64(q))
 	solveSeconds.Add(elapsed.Seconds())
 	var sumIters int
-	for j, c := range live {
-		st := stats[j]
-		sumIters += st.Iterations
-		if !st.Converged && st.Err == nil {
-			nonConverged.Inc()
+	j := 0
+	for _, c := range live {
+		rs := make([]Result, c.width())
+		callIters := 0
+		converged := true
+		for i := range rs {
+			st := stats[j]
+			sumIters += st.Iterations
+			callIters += st.Iterations
+			converged = converged && st.Converged
+			if !st.Converged && st.Err == nil {
+				nonConverged.Inc()
+			}
+			rs[i] = Result{
+				X:         xs[j],
+				Stats:     st,
+				BatchSize: q,
+				KernelM:   kernelM,
+				QueueWait: dispatchT0.Sub(c.enq),
+				SolveTime: elapsed,
+				Err:       st.Err,
+			}
+			j++
 		}
 		if c.tr != nil {
 			// The iteration count also arrives from inside the solver
 			// (cg_iterations via the request context); these attrs are
-			// the dispatcher's view, which ModeBlock shares batch-wide.
-			c.tr.SetAttr("iterations", int64(st.Iterations))
-			c.tr.SetAttr("converged", st.Converged)
+			// the dispatcher's view — summed over an ensemble's members,
+			// shared batch-wide in ModeBlock.
+			c.tr.SetAttr("iterations", int64(callIters))
+			c.tr.SetAttr("converged", converged)
 			// Tail latencies become traceable: the request-latency
 			// histogram bucket this observation lands in remembers
 			// this trace's ID as its exemplar.
@@ -252,15 +301,7 @@ func (e *Engine) dispatch(batch []*call) {
 		} else {
 			latency.Observe(time.Since(c.enq).Seconds())
 		}
-		c.res <- Result{
-			X:         xs[j],
-			Stats:     st,
-			BatchSize: q,
-			KernelM:   kernelM,
-			QueueWait: dispatchT0.Sub(c.enq),
-			SolveTime: elapsed,
-			Err:       st.Err,
-		}
+		c.res <- rs
 	}
 	// Refine the iteration estimate the cost model multiplies T(m) by.
 	const a = 0.3
@@ -280,11 +321,11 @@ func (e *Engine) blockPack(w int) (b, x *multivec.MultiVec) {
 	return b, x
 }
 
-// colOptions builds the per-request solver options.
-func (e *Engine) colOptions(c *call) solver.Options {
+// colOptions builds the solver options for one of a call's requests.
+func (e *Engine) colOptions(c *call, r Req) solver.Options {
 	opt := solver.Options{
-		Tol:     c.req.Tol,
-		MaxIter: c.req.MaxIter,
+		Tol:     r.Tol,
+		MaxIter: r.MaxIter,
 		Precond: e.cfg.Precond,
 		Ctx:     c.ctx,
 	}
@@ -302,18 +343,19 @@ func (e *Engine) colOptions(c *call) solver.Options {
 // splits the block outcome back into per-request stats. Per-request
 // tolerances are honored conservatively: the block solve runs at the
 // tightest tolerance in the batch.
-func (e *Engine) solveBlock(live []*call, kernelM int) ([]solver.Stats, [][]float64) {
-	q := len(live)
+func (e *Engine) solveBlock(live []*call, q, kernelM int) ([]solver.Stats, [][]float64) {
 	b, x := e.blockPack(kernelM)
 	bs := e.bsBuf[:0]
 	opt := solver.Options{Tol: e.cfg.Tol, MaxIter: e.cfg.MaxIter, Precond: e.cfg.Precond}
 	for _, c := range live {
-		bs = append(bs, c.req.B)
-		if c.req.Tol != 0 && (opt.Tol == 0 || c.req.Tol < opt.Tol) {
-			opt.Tol = c.req.Tol
-		}
-		if c.req.MaxIter != 0 && c.req.MaxIter > opt.MaxIter {
-			opt.MaxIter = c.req.MaxIter
+		for _, r := range c.reqs {
+			bs = append(bs, r.B)
+			if r.Tol != 0 && (opt.Tol == 0 || r.Tol < opt.Tol) {
+				opt.Tol = r.Tol
+			}
+			if r.MaxIter != 0 && r.MaxIter > opt.MaxIter {
+				opt.MaxIter = r.MaxIter
+			}
 		}
 	}
 	multivec.PackColumns(b, bs) // fully overwrites b, zero-filling padding
@@ -324,11 +366,11 @@ func (e *Engine) solveBlock(live []*call, kernelM int) ([]solver.Stats, [][]floa
 
 	stats := make([]solver.Stats, q)
 	xs := make([][]float64, q)
-	for j := range live {
+	for j := 0; j < q; j++ {
 		xs[j] = make([]float64, e.n)
 	}
 	multivec.UnpackColumns(xs, x)
-	for j := range live {
+	for j := 0; j < q; j++ {
 		stats[j] = solver.Stats{
 			Iterations: bst.Iterations,
 			MatMuls:    bst.MatMuls,

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/rng"
+	"repro/internal/stats"
 )
 
 // SolveRequest is the JSON body of POST /v1/solve. The right-hand
@@ -68,6 +69,44 @@ type SDStepResponse struct {
 	SolveMS     float64   `json:"solve_ms"`
 }
 
+// EnsembleRequest is the JSON body of POST /v1/ensemble: K
+// right-hand sides solved as one atomic fused dispatch (kernel m >= K
+// regardless of server load). Exactly one of Bs (explicit vectors),
+// Seeds (server-generated standard-normal vectors, one per seed), or
+// Members+Seed (Members seeds counted up from Seed; Members defaults
+// to the engine's DefaultEnsemble) selects the member set.
+type EnsembleRequest struct {
+	Bs        [][]float64 `json:"bs,omitempty"`
+	Seeds     []uint64    `json:"seeds,omitempty"`
+	Members   int         `json:"members,omitempty"`
+	Seed      *uint64     `json:"seed,omitempty"`
+	Tol       float64     `json:"tol,omitempty"`
+	MaxIter   int         `json:"max_iter,omitempty"`
+	TimeoutMS int         `json:"timeout_ms,omitempty"`
+	OmitX     bool        `json:"omit_x,omitempty"`
+}
+
+// EnsembleMember is one member's outcome inside an EnsembleResponse.
+type EnsembleMember struct {
+	X          []float64 `json:"x,omitempty"`
+	Converged  bool      `json:"converged"`
+	Iterations int       `json:"iterations"`
+	Residual   float64   `json:"residual"`
+}
+
+// EnsembleResponse is the JSON body answered by POST /v1/ensemble.
+// MeanRMSD/MaxRMSD summarize the pairwise spread of the member
+// solutions (stats.Divergence).
+type EnsembleResponse struct {
+	Members     []EnsembleMember `json:"members"`
+	BatchSize   int              `json:"batch_size"`
+	KernelM     int              `json:"kernel_m"`
+	QueueWaitMS float64          `json:"queue_wait_ms"`
+	SolveMS     float64          `json:"solve_ms"`
+	MeanRMSD    float64          `json:"mean_rmsd"`
+	MaxRMSD     float64          `json:"max_rmsd"`
+}
+
 // Info is the JSON body of GET /v1/info.
 type Info struct {
 	N          int     `json:"n"`
@@ -81,6 +120,10 @@ type Info struct {
 	// Symmetric reports a half-storage (bcrs.SymMatrix) operator:
 	// every batched GSPMV moves half the matrix bytes.
 	Symmetric bool `json:"symmetric"`
+	// MaxEnsemble is the widest /v1/ensemble accepted (== MaxBatch);
+	// DefaultEnsemble the member count used when a request names none.
+	MaxEnsemble     int `json:"max_ensemble"`
+	DefaultEnsemble int `json:"default_ensemble"`
 }
 
 type errorBody struct {
@@ -111,6 +154,7 @@ func requestID(e *Engine, w http.ResponseWriter, r *http.Request) string {
 //
 //	POST /v1/solve     solve A*x = b (request bodies batch server-side)
 //	POST /v1/sdstep    solve R*u = f, answer u and dx = dt*u
+//	POST /v1/ensemble  solve K right-hand sides in one fused dispatch
 //	GET  /healthz      200 while serving, 503 once draining
 //	GET  /v1/info      engine dimensions and batching configuration
 //	GET  /metrics      Prometheus text exposition of obs.Default
@@ -225,6 +269,66 @@ func Handler(e *Engine) http.Handler {
 		writeJSON(w, http.StatusOK, resp)
 	})
 
+	mux.HandleFunc("/v1/ensemble", func(w http.ResponseWriter, r *http.Request) {
+		id := requestID(e, w, r)
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, errors.New("serve: POST required"))
+			return
+		}
+		var er EnsembleRequest
+		if err := json.NewDecoder(r.Body).Decode(&er); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("serve: bad JSON: %w", err))
+			return
+		}
+		bs, err := ensembleRHS(e, er)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		reqs := make([]Req, len(bs))
+		for i, b := range bs {
+			reqs[i] = Req{B: b, Tol: er.Tol, MaxIter: er.MaxIter}
+		}
+		ctx, cancel := reqContext(r, er.TimeoutMS)
+		defer cancel()
+		tr := e.cfg.Tracer.Start(id)
+		tr.SetAttr("path", "/v1/ensemble")
+		defer tr.Finish()
+		rs, err := e.SubmitEnsemble(obs.ContextWithTrace(ctx, tr), reqs)
+		if err != nil {
+			tr.SetAttr("http_status", int64(statusOf(err)))
+			writeErr(w, statusOf(err), err)
+			return
+		}
+		// Whole-ensemble cancellation mid-queue surfaces per member;
+		// report it as one request-level timeout.
+		if err := firstErr(rs); err != nil && errors.Is(err, ErrCanceled) {
+			tr.SetAttr("http_status", int64(statusOf(err)))
+			writeErr(w, statusOf(err), err)
+			return
+		}
+		tr.SetAttr("http_status", int64(http.StatusOK))
+		resp := EnsembleResponse{Members: make([]EnsembleMember, len(rs))}
+		xs := make([][]float64, len(rs))
+		for i, res := range rs {
+			xs[i] = res.X
+			resp.Members[i] = EnsembleMember{
+				Converged:  res.Stats.Converged,
+				Iterations: res.Stats.Iterations,
+				Residual:   res.Stats.Residual,
+			}
+			if !er.OmitX {
+				resp.Members[i].X = res.X
+			}
+			resp.BatchSize = res.BatchSize
+			resp.KernelM = res.KernelM
+			resp.QueueWaitMS = float64(res.QueueWait) / float64(time.Millisecond)
+			resp.SolveMS = float64(res.SolveTime) / float64(time.Millisecond)
+		}
+		resp.MeanRMSD, resp.MaxRMSD = stats.Divergence(xs)
+		writeJSON(w, http.StatusOK, resp)
+	})
+
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		if e.Draining() {
 			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
@@ -247,8 +351,10 @@ func Handler(e *Engine) http.Handler {
 			MaxWaitMS:  float64(cfg.MaxWait) / float64(time.Millisecond),
 			WaitFactor: cfg.WaitFactor,
 			Tol:        cfg.Tol,
-			HasModel:   cfg.Model != nil,
-			Symmetric:  e.Symmetric(),
+			HasModel:        cfg.Model != nil,
+			Symmetric:       e.Symmetric(),
+			MaxEnsemble:     cfg.MaxBatch,
+			DefaultEnsemble: cfg.DefaultEnsemble,
 		})
 	})
 
@@ -259,6 +365,64 @@ func Handler(e *Engine) http.Handler {
 	})
 	mux.Handle("/debug/traces", obs.TracesHandler(e.cfg.Tracer))
 	return mux
+}
+
+// ensembleRHS resolves an EnsembleRequest's member right-hand sides:
+// explicit vectors, explicit seeds, or a member count with a base
+// seed (engine defaults fill the gaps).
+func ensembleRHS(e *Engine, er EnsembleRequest) ([][]float64, error) {
+	specified := 0
+	if er.Bs != nil {
+		specified++
+	}
+	if er.Seeds != nil {
+		specified++
+	}
+	if er.Members != 0 || er.Seed != nil {
+		specified++
+	}
+	if specified > 1 {
+		return nil, errors.New("serve: give exactly one of bs, seeds, or members+seed")
+	}
+	switch {
+	case er.Bs != nil:
+		for _, b := range er.Bs {
+			if len(b) != e.N() {
+				return nil, fmt.Errorf("serve: member right-hand side has length %d, want %d", len(b), e.N())
+			}
+		}
+		return er.Bs, nil
+	case er.Seeds != nil:
+		bs := make([][]float64, len(er.Seeds))
+		for i, s := range er.Seeds {
+			seed := s
+			b, err := rhsOf(e, nil, &seed)
+			if err != nil {
+				return nil, err
+			}
+			bs[i] = b
+		}
+		return bs, nil
+	default:
+		k := er.Members
+		if k == 0 {
+			k = e.cfg.DefaultEnsemble
+		}
+		var base uint64
+		if er.Seed != nil {
+			base = *er.Seed
+		}
+		bs := make([][]float64, k)
+		for i := range bs {
+			seed := base + uint64(i)
+			b, err := rhsOf(e, nil, &seed)
+			if err != nil {
+				return nil, err
+			}
+			bs[i] = b
+		}
+		return bs, nil
+	}
 }
 
 // rhsOf resolves the explicit-vector-or-seed right-hand-side choice.
@@ -295,7 +459,7 @@ func statusOf(err error) int {
 		return http.StatusTooManyRequests // 429
 	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable // 503
-	case errors.Is(err, ErrBadRequest):
+	case errors.Is(err, ErrBadRequest), errors.Is(err, ErrTooWide):
 		return http.StatusBadRequest // 400
 	case errors.Is(err, ErrCanceled):
 		return http.StatusGatewayTimeout // 504

@@ -20,6 +20,13 @@ var (
 	batches  = obs.Default.Counter("serve_batches_total")
 	batchRHS = obs.Default.Counter("serve_batch_rhs_total")
 
+	// Ensemble submissions: whole-ensemble admissions, their member
+	// count, and the width distribution (the structural kernel m the
+	// client bought regardless of load).
+	ensembles       = obs.Default.Counter("serve_ensembles_total")
+	ensembleMembers = obs.Default.Counter("serve_ensemble_members_total")
+	ensembleWidth   = obs.Default.Histogram("serve_ensemble_width", []float64{1, 2, 4, 8, 16, 32})
+
 	queueDepth = obs.Default.Gauge("serve_queue_depth")
 
 	// Batch sizes are small integers in [1, 32]; latencies span

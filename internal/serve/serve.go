@@ -1,28 +1,3 @@
-// Package serve turns the MRHS solver stack into a batching solve
-// server: independent solve requests are held briefly in a bounded
-// admission queue and coalesced by a dynamic batcher into one
-// multi-right-hand-side solve sized to the specialized GSPMV kernels
-// (m in {1, 2, 4, 8, 16, 32}).
-//
-// The economics are the paper's Eq. 8 applied to serving: a solve
-// with m fused right-hand sides costs r(m) << m times a single solve,
-// so coalescing q concurrent requests multiplies throughput by
-// q/r(q). Krasnopolsky (arXiv:1711.10622) fuses independent ensemble
-// simulations this way; here the independent systems are independent
-// *user requests* against a shared operator.
-//
-// Two dispatch modes exist. The default, fused, runs one standard CG
-// recurrence per request sharing only the GSPMV (solver.MultiCG);
-// each request's answer is bitwise-identical to solving it alone,
-// which makes batching invisible to clients. Mode block dispatches
-// one solver.BlockCGWithFallback per batch — the block-Krylov
-// coupling converges in fewer iterations but answers are only
-// tolerance-equivalent, not bitwise.
-//
-// Overload is handled by explicit load shedding: when the admission
-// queue is full, Submit fails fast with ErrOverloaded (HTTP 429)
-// instead of growing an unbounded backlog. Shutdown is a graceful
-// drain: new work is refused, queued work is flushed.
 package serve
 
 import (
@@ -49,6 +24,9 @@ var (
 	ErrDraining = errors.New("serve: draining, not accepting requests")
 	// ErrBadRequest means the right-hand side had the wrong dimension.
 	ErrBadRequest = errors.New("serve: right-hand side dimension mismatch")
+	// ErrTooWide means an ensemble submission had more members than
+	// MaxBatch, so it could never be solved in one fused dispatch.
+	ErrTooWide = errors.New("serve: ensemble wider than max batch")
 	// ErrCanceled mirrors solver.ErrCanceled: the request's context
 	// was canceled or its deadline expired before or during the solve.
 	ErrCanceled = solver.ErrCanceled
@@ -107,6 +85,9 @@ type Config struct {
 	// carry its own trace (1: all, the default). Negative disables
 	// engine-started traces entirely.
 	TraceSample int
+	// DefaultEnsemble is the member count /v1/ensemble uses when the
+	// request names neither explicit vectors nor seeds. Default 4.
+	DefaultEnsemble int
 }
 
 func (c Config) withDefaults() Config {
@@ -136,6 +117,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TraceSample == 0 {
 		c.TraceSample = 1
+	}
+	if c.DefaultEnsemble < 1 {
+		c.DefaultEnsemble = 4
+	}
+	if c.DefaultEnsemble > c.MaxBatch {
+		c.DefaultEnsemble = c.MaxBatch
 	}
 	return c
 }
@@ -171,23 +158,29 @@ type Result struct {
 	Err error
 }
 
-// call is one queued request with its response channel and, when the
-// request is traced, its trace plus the span currently open on it.
-// The spans cross goroutines by design — qspan starts on the
-// submitting goroutine and ends on the dispatcher — which the atomic
-// span end (obs.Span.End) makes safe even when both sides race to
-// close one out.
+// call is one queued submission — a single solve request or a
+// K-member ensemble occupying one queue slot so admission (and
+// shedding) is atomic per ensemble — with its response channel and,
+// when the submission is traced, its trace plus the span currently
+// open on it. The spans cross goroutines by design — qspan starts on
+// the submitting goroutine and ends on the dispatcher — which the
+// atomic span end (obs.Span.End) makes safe even when both sides race
+// to close one out.
 type call struct {
-	ctx context.Context
-	req Req
-	enq time.Time
-	res chan Result // buffered(1): the dispatcher never blocks on it
+	ctx  context.Context
+	reqs []Req // len >= 1; len > 1 is an ensemble solved in one dispatch
+	enq  time.Time
+	res  chan []Result // buffered(1): the dispatcher never blocks on it
 
 	tr    *obs.Trace // nil: untraced request
 	ownTr bool       // engine started the trace and must finish it
 	qspan *obs.Span  // queue_wait: enqueue -> pulled by dispatcher
 	bspan *obs.Span  // batch_wait: pulled -> batch dispatched
 }
+
+// width returns the number of right-hand sides the call contributes
+// to a batch.
+func (c *call) width() int { return len(c.reqs) }
 
 // Engine is the batching solve core: a bounded admission queue, a
 // dispatcher goroutine running the dynamic batcher, and the arrival /
@@ -210,6 +203,7 @@ type Engine struct {
 
 	itersEWMA float64 // dispatcher-only: observed iterations per solve
 	batchSeq  int64   // dispatcher-only: batch IDs for trace attribution
+	carry     *call   // dispatcher-only: pulled but did not fit the batch
 
 	// Dispatcher-owned scratch, reused across batches. Only the single
 	// dispatcher goroutine (run) touches these, so no locking is
@@ -276,14 +270,45 @@ func (e *Engine) Draining() bool {
 // adopted and left for its creator to finish; otherwise Submit
 // starts one from Config.Tracer and finishes it itself.
 func (e *Engine) Submit(ctx context.Context, req Req) (Result, error) {
-	if len(req.B) != e.n {
-		return Result{}, ErrBadRequest
+	rs, err := e.submit(ctx, []Req{req})
+	if err != nil {
+		return Result{}, err
+	}
+	return rs[0], rs[0].Err
+}
+
+// SubmitEnsemble enqueues K right-hand sides as one atomic admission
+// unit: the ensemble occupies a single queue slot, is shed or
+// accepted as a whole, and its members are always solved inside the
+// same fused dispatch — so the solve's kernel width is >= K no matter
+// how idle the server is. This is Krasnopolsky's ensemble fusion at
+// the serving tier: one client simulating K trajectories gets full
+// MRHS economics at concurrency 1.
+//
+// The member count must not exceed Config.MaxBatch (ErrTooWide).
+// Whole-submission failures (shed, draining, canceled) return an
+// error; per-member solver outcomes live in each Result.
+func (e *Engine) SubmitEnsemble(ctx context.Context, reqs []Req) ([]Result, error) {
+	if len(reqs) == 0 {
+		return nil, ErrBadRequest
+	}
+	if len(reqs) > e.cfg.MaxBatch {
+		return nil, ErrTooWide
+	}
+	return e.submit(ctx, reqs)
+}
+
+func (e *Engine) submit(ctx context.Context, reqs []Req) ([]Result, error) {
+	for _, r := range reqs {
+		if len(r.B) != e.n {
+			return nil, ErrBadRequest
+		}
 	}
 	e.mu.Lock()
 	if e.draining {
 		e.mu.Unlock()
 		drainRejected.Inc()
-		return Result{}, ErrDraining
+		return nil, ErrDraining
 	}
 	// inflight spans the enqueue so Close cannot close the queue
 	// under a concurrent send.
@@ -292,8 +317,13 @@ func (e *Engine) Submit(ctx context.Context, req Req) (Result, error) {
 	e.mu.Unlock()
 	defer e.inflight.Done()
 
-	requests.Inc()
-	c := &call{ctx: ctx, req: req, enq: time.Now(), res: make(chan Result, 1)}
+	requests.Add(int64(len(reqs)))
+	if len(reqs) > 1 {
+		ensembles.Inc()
+		ensembleMembers.Add(int64(len(reqs)))
+		ensembleWidth.Observe(float64(len(reqs)))
+	}
+	c := &call{ctx: ctx, reqs: reqs, enq: time.Now(), res: make(chan []Result, 1)}
 	if c.tr = obs.TraceFrom(ctx); c.tr == nil && e.cfg.TraceSample > 0 &&
 		e.traceSeq.Add(1)%int64(e.cfg.TraceSample) == 0 {
 		c.tr = e.cfg.Tracer.Start("")
@@ -302,6 +332,9 @@ func (e *Engine) Submit(ctx context.Context, req Req) (Result, error) {
 	}
 	if c.tr != nil {
 		traced.Inc()
+		if len(reqs) > 1 {
+			c.tr.SetAttr("ensemble_members", int64(len(reqs)))
+		}
 		c.qspan = c.tr.StartSpan("queue_wait").Handoff() // ended by the dispatcher
 	}
 	select {
@@ -310,19 +343,30 @@ func (e *Engine) Submit(ctx context.Context, req Req) (Result, error) {
 	default:
 		shed.Inc()
 		c.finishTrace("shed", ErrOverloaded)
-		return Result{}, ErrOverloaded
+		return nil, ErrOverloaded
 	}
 	select {
-	case r := <-c.res:
-		c.finishTrace("done", r.Err)
-		return r, r.Err
+	case rs := <-c.res:
+		c.finishTrace("done", firstErr(rs))
+		return rs, nil
 	case <-ctx.Done():
 		// The dispatcher notices the dead context at dispatch time
 		// and drops the call into its buffered channel; nobody waits.
 		canceled.Inc()
 		c.finishTrace("canceled", ErrCanceled)
-		return Result{}, ErrCanceled
+		return nil, ErrCanceled
 	}
+}
+
+// firstErr returns the first per-member error of a result set, for
+// trace attribution.
+func firstErr(rs []Result) error {
+	for _, r := range rs {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
 }
 
 // finishTrace closes out an engine-owned trace with the request's

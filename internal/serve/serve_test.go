@@ -289,24 +289,24 @@ func TestServePlanWait(t *testing.T) {
 	mk := func(q int) []*call {
 		batch := make([]*call, q)
 		for i := range batch {
-			batch[i] = &call{ctx: context.Background()}
+			batch[i] = &call{ctx: context.Background(), reqs: make([]Req, 1)}
 		}
 		return batch
 	}
-	if w := e.planWait(mk(4), 0); w > 0 {
+	if w := e.planWait(4, mk(4), 0); w > 0 {
 		t.Errorf("full batch waits %v, want dispatch now", w)
 	}
-	if w := e.planWait(mk(2), 2*time.Millisecond); w > 0 {
+	if w := e.planWait(2, mk(2), 2*time.Millisecond); w > 0 {
 		t.Errorf("exhausted window waits %v, want dispatch now", w)
 	}
-	if w := e.planWait(mk(1), 0); w <= 0 {
+	if w := e.planWait(1, mk(1), 0); w <= 0 {
 		t.Error("fresh singleton refuses to wait; batching can never happen")
 	}
 	// When the next kernel size is unreachable under MaxBatch there is
 	// nothing to wait for: q=2's next width is 4, over a cap of 3.
 	e2 := NewEngine(testMatrix(), Config{MaxBatch: 3, MaxWait: time.Millisecond})
 	defer e2.Close(context.Background())
-	if w := e2.planWait(mk(2), 0); w > 0 {
+	if w := e2.planWait(2, mk(2), 0); w > 0 {
 		t.Errorf("q=2 under cap 3 waits %v, but kernel width 4 is unreachable", w)
 	}
 }

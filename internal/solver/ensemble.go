@@ -1,0 +1,93 @@
+package solver
+
+import "repro/internal/multivec"
+
+// Ensemble fuses K equal-dimension operators into one ColumnOperator:
+// column j of a block multiply goes through Ops[j] (or Ops[ids[j]]
+// once MultiCG has retired columns). It is how K independent lockstep
+// trajectories — each with its own slowly-evolving matrix — share a
+// single MultiCG solve (Krasnopolsky's ensemble fusion,
+// arXiv:1711.10622, applied to per-member systems).
+//
+// Each column is multiplied with exactly the member operator's own
+// MulVec, so a fused solve stays bitwise-identical per member to a
+// lone CG against that member's matrix — the property the ensemble
+// equivalence tests pin down. When every member shares one matrix
+// (the serving tier's /v1/ensemble), use the matrix itself as the
+// BlockOperator instead: the multiply then collapses to one true
+// fused GSPMV.
+//
+// An Ensemble owns column scratch and serves one solve at a time; it
+// is not safe for concurrent use.
+type Ensemble struct {
+	Ops []Operator
+
+	xbuf, ybuf []float64
+}
+
+// NewEnsemble wraps the member operators, which must all share one
+// scalar dimension.
+func NewEnsemble(ops []Operator) *Ensemble {
+	if len(ops) == 0 {
+		panic("solver: empty ensemble")
+	}
+	n := ops[0].N()
+	for _, op := range ops[1:] {
+		if op.N() != n {
+			panic("solver: ensemble member dimensions differ")
+		}
+	}
+	return &Ensemble{Ops: ops}
+}
+
+// N returns the shared scalar dimension.
+func (e *Ensemble) N() int { return e.Ops[0].N() }
+
+// Members returns the ensemble width K.
+func (e *Ensemble) Members() int { return len(e.Ops) }
+
+// MulVec multiplies through the first member (the reference
+// trajectory); single-vector callers of an ensemble almost always
+// want a specific member and should call Ops[i].MulVec directly.
+func (e *Ensemble) MulVec(y, x []float64) { e.Ops[0].MulVec(y, x) }
+
+// Mul computes Y[:,j] = A_j * X[:,j] for every column: the identity
+// mapping of MulCols. Columns beyond the member count (kernel
+// padding) are zeroed — the exact result of multiplying their zero
+// padding input.
+func (e *Ensemble) Mul(y, x *multivec.MultiVec) {
+	k := len(e.Ops)
+	if x.M < k {
+		k = x.M
+	}
+	ids := make([]int, k)
+	for j := range ids {
+		ids[j] = j
+	}
+	e.MulCols(y, x, ids)
+}
+
+// MulCols computes Y[:,j] = A_{ids[j]} * X[:,j]. Padding columns
+// (j >= len(ids)) are zero-filled so the output block is fully
+// defined regardless of scratch reuse upstream.
+func (e *Ensemble) MulCols(y, x *multivec.MultiVec, ids []int) {
+	n := e.N()
+	if x.N != n || y.N != n || y.M != x.M {
+		panic("solver: ensemble block dimension mismatch")
+	}
+	if e.xbuf == nil {
+		e.xbuf = make([]float64, n)
+		e.ybuf = make([]float64, n)
+	}
+	for j, id := range ids {
+		x.Col(j, e.xbuf)
+		e.Ops[id].MulVec(e.ybuf, e.xbuf)
+		y.SetCol(j, e.ybuf)
+	}
+	for i := 0; i < n; i++ {
+		row := y.Row(i)
+		for j := len(ids); j < y.M; j++ {
+			row[j] = 0
+		}
+	}
+}

@@ -133,6 +133,7 @@ func MultiCGWith(ws *MultiCGWorkspace, a BlockOperator, xs, bs [][]float64, opts
 	ws.reset(n)
 
 	type col struct {
+		id                int // original column index (ColumnOperator identity)
 		x, b, r, z, p, ap []float64
 		rz, bnorm, rnorm  float64
 		opt               Options
@@ -141,7 +142,8 @@ func MultiCGWith(ws *MultiCGWorkspace, a BlockOperator, xs, bs [][]float64, opts
 	cols := make([]*col, q)
 	for j := 0; j < q; j++ {
 		cols[j] = &col{
-			x: xs[j], b: bs[j],
+			id: j,
+			x:  xs[j], b: bs[j],
 			r:   ws.vec(),
 			opt: opts[j].withDefaults(n),
 			st:  &stats[j],
@@ -156,12 +158,14 @@ func MultiCGWith(ws *MultiCGWorkspace, a BlockOperator, xs, bs [][]float64, opts
 	px, py := ws.pack(w)
 	rcols := make([][]float64, q)
 	xcols := make([][]float64, q)
+	ids := make([]int, q)
 	for j, c := range cols {
 		rcols[j] = c.r
 		xcols[j] = c.x
+		ids[j] = j
 	}
 	multivec.PackColumns(px, xcols)
-	a.Mul(py, px)
+	mulColumns(a, py, px, ids)
 	multivec.UnpackColumns(rcols, py)
 
 	// Per-column setup, mirroring CG exactly: zero right-hand sides
@@ -233,13 +237,14 @@ func MultiCGWith(ws *MultiCGWorkspace, a BlockOperator, xs, bs [][]float64, opts
 		if px.M != w {
 			px, py = ws.pack(w)
 		}
-		pcols, apcols = pcols[:0], apcols[:0]
+		pcols, apcols, ids = pcols[:0], apcols[:0], ids[:0]
 		for _, c := range active {
 			pcols = append(pcols, c.p)
 			apcols = append(apcols, c.ap)
+			ids = append(ids, c.id)
 		}
 		multivec.PackColumns(px, pcols)
-		a.Mul(py, px)
+		mulColumns(a, py, px, ids)
 		multivec.UnpackColumns(apcols, py)
 
 		live = active[:0]

@@ -174,3 +174,32 @@ func Multi(obs ...func(step int, u []float64, dt float64)) func(step int, u []fl
 		}
 	}
 }
+
+// Divergence summarizes how far apart a set of equal-length vectors
+// sit: the mean and maximum pairwise root-mean-square distance. The
+// serve tier's /v1/ensemble reports it over the member solutions as a
+// quick spread indicator; core.EnsembleRunner computes the
+// configuration-space analogue (minimum-image RMSD) per step. Fewer
+// than two vectors yield zeros.
+func Divergence(vs [][]float64) (mean, max float64) {
+	if len(vs) < 2 {
+		return 0, 0
+	}
+	pairs := 0
+	for i := 0; i < len(vs); i++ {
+		for j := i + 1; j < len(vs); j++ {
+			var sum float64
+			for k := range vs[i] {
+				d := vs[i][k] - vs[j][k]
+				sum += d * d
+			}
+			d := math.Sqrt(sum / float64(len(vs[i])))
+			mean += d
+			if d > max {
+				max = d
+			}
+			pairs++
+		}
+	}
+	return mean / float64(pairs), max
+}
