@@ -114,11 +114,18 @@ bench-ensemble:
 # bench-symm races the parallel half-storage symmetric GSPMV against
 # the general kernels at equal thread counts on a banded (RCM-like,
 # -nowrap) matrix and writes BENCH_symm.json: per-(threads, m)
-# measured and model-predicted speedups, measured r(m) vs r_sym(m),
-# and the bitwise-determinism verdict. "best" holds the acceptance
-# number: the top symmetric speedup at m >= 8.
+# measured and model-predicted speedups (the auto cache-blocked plan
+# plus the forced single-pass and -dedup compressed ablations, so each
+# point carries tiled/tile_cols/dedup_ratio), measured r(m) vs
+# r_sym(m), and the bitwise-determinism verdict. "best" holds the
+# acceptance number: the top symmetric speedup at m >= 8.
+# The band models an RCM-ordered short-cutoff lubrication topology
+# (the generator's old nb/16 default put >60% of the multiply into
+# scatter-window stalls, an artifact no ordered physical matrix
+# shows); -unique models the repeated-interaction-tensor regime the
+# -dedup ablation compresses.
 bench-symm:
-	$(GO) run ./cmd/gspmv-bench -symmetric -nowrap -nb 150000 -bpr 20 -m 1,2,4,8,16,32 -threads 1,2 -json $(CURDIR)/BENCH_symm.json
+	$(GO) run ./cmd/gspmv-bench -symmetric -nowrap -nb 150000 -bpr 20 -band 1200 -m 1,2,4,8,16,32 -threads 1,2 -dedup -unique 1024 -json $(CURDIR)/BENCH_symm.json
 	-$(MAKE) bench-diff BENCH_FILES=BENCH_symm.json
 
 # bench-scaling sweeps the worker-pool size over full MRHS steps and

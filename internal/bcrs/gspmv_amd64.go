@@ -17,18 +17,21 @@ func xgetbv0() (eax, edx uint32)
 func gspmvRowAVX2(vals *float64, colIdx *int32, nblk int, x *float64, yrow *float64, m int)
 
 // Implemented in sym_amd64.s.
-func symGspmvRowAVX2(vals *float64, colIdx *int32, nblk int, x, y, part *float64, i, hi, m int)
+func symGspmvRowAVX2(vals *float64, colIdx *int32, nblk int, x, y, part *float64, i, hi, m, c0, c1 int)
 
 // simdWidth is 8 (columns per inner-kernel call) when the host and
 // OS support AVX2, else 0. Tests may clear it to force the pure-Go
 // kernels.
 var simdWidth = detectSIMD()
 
-// symSIMDWidth is the symmetric kernel's group width: 4 when AVX2 and
-// FMA3 are available (the symmetric body keeps three vector sets
-// live, so it runs narrower groups than the general kernel's 8; its
-// scalar DAG is FMA-based, so the asm path additionally needs the FMA
-// extension). Tests may clear it to force the pure-Go kernels.
+// symSIMDWidth is the symmetric kernel's column-group granularity: 2
+// when AVX2 and FMA3 are available. The asm kernel runs 4-wide ymm
+// groups with a 2-wide xmm tail, so it serves every even column count
+// — full-width m = 2 included — while the symmetric body's three live
+// vector sets (accumulators, x row i, x row j) keep it narrower than
+// the general kernel's 8. The scalar DAG is FMA-based, so the asm
+// path additionally needs the FMA extension. Tests may clear this to
+// force the pure-Go kernels.
 var symSIMDWidth = detectSymSIMD()
 
 func detectSymSIMD() int {
@@ -42,7 +45,7 @@ func detectSymSIMD() int {
 	if c1&fma == 0 {
 		return 0
 	}
-	return 4
+	return 2
 }
 
 func detectSIMD() int {
@@ -82,11 +85,19 @@ func gspmvSIMD(rowPtr, colIdx []int32, vals, x, y []float64, m, lo, hi int) {
 	}
 }
 
-// symGspmvSIMD runs the AVX2 symmetric row kernel over [lo, hi),
-// honoring the symKernel contract (accumulate into pre-zeroed y rows,
-// out-of-range scatter into part). m must be a positive multiple of
-// symSIMDWidth.
+// symGspmvSIMD runs the AVX2 symmetric row kernel full-width over
+// [lo, hi), honoring the symKernel contract (accumulate into
+// pre-zeroed y rows, out-of-range scatter into part). m must be a
+// positive multiple of symSIMDWidth.
 func symGspmvSIMD(rowPtr, colIdx []int32, vals, x, y, part []float64, m, lo, hi int) {
+	symGspmvSIMDTile(rowPtr, colIdx, vals, x, y, part, m, 0, m, lo, hi)
+}
+
+// symGspmvSIMDTile runs the AVX2 symmetric row kernel over columns
+// [c0, c1) of a width-m multiply — the cache-blocked schedule's tile
+// pass, with x/y/part addressed at the full m-column stride. c1 - c0
+// must be a positive multiple of symSIMDWidth.
+func symGspmvSIMDTile(rowPtr, colIdx []int32, vals, x, y, part []float64, m, c0, c1, lo, hi int) {
 	var pp *float64
 	if len(part) > 0 {
 		pp = &part[0]
@@ -96,6 +107,6 @@ func symGspmvSIMD(rowPtr, colIdx []int32, vals, x, y, part []float64, m, lo, hi 
 		if k1 == k0 {
 			continue // accumulate semantics: empty rows contribute nothing
 		}
-		symGspmvRowAVX2(&vals[k0*BlockSize], &colIdx[k0], k1-k0, &x[0], &y[0], pp, i, hi, m)
+		symGspmvRowAVX2(&vals[k0*BlockSize], &colIdx[k0], k1-k0, &x[0], &y[0], pp, i, hi, m, c0, c1)
 	}
 }

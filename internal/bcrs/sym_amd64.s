@@ -1,5 +1,6 @@
 // AVX2+FMA symmetric GSPMV inner kernel: one upper-triangle block
-// row, 4 columns at a time.
+// row, columns [c0, c1) of an m-wide multivector, 4 columns at a time
+// with a 2-wide tail.
 //
 // As in gspmv_amd64.s, SIMD lanes run ACROSS the right-hand sides
 // (the m dimension), never across the reduction, and each lane
@@ -17,6 +18,15 @@
 // is what keeps the kernel bandwidth-bound (where the half storage
 // pays off) out to large m.
 //
+// The column bounds are what the cache-blocked schedule tiles on: a
+// tile pass calls with [c0, c0+tile) while m stays the row stride, so
+// x/y/part addressing is untouched and per column the instruction
+// stream is identical to a full-width pass. The 2-wide xmm tail
+// (VMOVDDUP broadcast + 128-bit VFMADD231PD, same single-rounded
+// lanes) serves every even width — in particular full-width m=2,
+// which the 4-wide-only kernel left to scalar Go exactly where the
+// measured sym/general speedup sat below 1.
+//
 // The group width is 4 (not the general kernel's 8) because the
 // symmetric body keeps three vector sets live — direct accumulators,
 // x row i for the transposed scatter, and x row j — which at width 8
@@ -26,20 +36,20 @@
 // for row i (seeded from y, which carries earlier in-range scatter),
 // and — when j != i — transposed into row j, which lives in y when
 // j < hi and in the caller's partial window (block row 0 == block row
-// hi) otherwise.
+// hi, full 3m row stride) otherwise.
 
 #include "textflag.h"
 
-// func symGspmvRowAVX2(vals *float64, colIdx *int32, nblk int, x, y, part *float64, i, hi, m int)
+// func symGspmvRowAVX2(vals *float64, colIdx *int32, nblk int, x, y, part *float64, i, hi, m, c0, c1 int)
 //
 // Register plan: Y0..Y2 direct accumulators (rows 0..2 of y block row
 // i, one 4-column group), Y3..Y5 x block row i (scatter source),
 // Y6..Y8 x block row j, Y9 broadcast coefficient, Y11 scatter
-// accumulator.
+// accumulator; X registers play the same roles in the 2-wide tail.
 // GP: SI vals, DI colIdx, CX nblk, DX x, BX y, R8 part, AX i*3m,
-// R9 group column offset, R10 block counter, R11 j / scratch,
+// R9 column offset, R10 block counter, R11 j / scratch,
 // R12 3m, R13 m, R14/R15 scratch.
-TEXT ·symGspmvRowAVX2(SB), NOSPLIT, $0-72
+TEXT ·symGspmvRowAVX2(SB), NOSPLIT, $0-88
 	MOVQ  vals+0(FP), SI
 	MOVQ  colIdx+8(FP), DI
 	MOVQ  nblk+16(FP), CX
@@ -50,11 +60,13 @@ TEXT ·symGspmvRowAVX2(SB), NOSPLIT, $0-72
 	LEAQ  (R13)(R13*2), R12 // 3m
 	MOVQ  i+48(FP), AX
 	IMULQ R12, AX           // i*3m: scalar offset of block row i
-	XORQ  R9, R9            // column group offset
+	MOVQ  c0+72(FP), R9     // column offset starts at the tile base
 
 grouploop:
-	CMPQ R9, R13
-	JGE  done
+	MOVQ c1+80(FP), R14
+	SUBQ R9, R14
+	CMPQ R14, $4
+	JLT  pairloop
 
 	// Load x block row i (Y3..Y5) and the accumulators from y block
 	// row i (Y0..Y2) for this column group.
@@ -181,6 +193,129 @@ storeacc:
 
 	ADDQ $4, R9
 	JMP  grouploop
+
+	// 2-wide tail: the same body on xmm registers (VMOVDDUP is the
+	// 128-bit broadcast), serving the remaining even columns — and the
+	// whole of width-2 calls.
+pairloop:
+	MOVQ c1+80(FP), R14
+	SUBQ R9, R14
+	CMPQ R14, $2
+	JLT  done
+
+	LEAQ    (AX)(R9*1), R14
+	LEAQ    (DX)(R14*8), R15
+	VMOVUPD (R15), X3
+	VMOVUPD (R15)(R13*8), X4
+	LEAQ    (R15)(R13*8), R11
+	VMOVUPD (R11)(R13*8), X5
+	LEAQ    (BX)(R14*8), R15
+	VMOVUPD (R15), X0
+	VMOVUPD (R15)(R13*8), X1
+	LEAQ    (R15)(R13*8), R11
+	VMOVUPD (R11)(R13*8), X2
+	XORQ    R10, R10
+
+blockloop2:
+	CMPQ R10, CX
+	JGE  storeacc2
+
+	MOVLQSX (DI)(R10*4), R11
+	MOVQ    R11, R14
+	IMULQ   R12, R14
+	ADDQ    R9, R14
+	LEAQ    (DX)(R14*8), R14
+	VMOVUPD (R14), X6
+	VMOVUPD (R14)(R13*8), X7
+	LEAQ    (R14)(R13*8), R15
+	VMOVUPD (R15)(R13*8), X8
+
+	LEAQ (R10)(R10*8), R15
+	SHLQ $3, R15
+	ADDQ SI, R15
+
+	VMOVDDUP    (R15), X9
+	VFMADD231PD X6, X9, X0
+	VMOVDDUP    8(R15), X9
+	VFMADD231PD X7, X9, X0
+	VMOVDDUP    16(R15), X9
+	VFMADD231PD X8, X9, X0
+
+	VMOVDDUP    24(R15), X9
+	VFMADD231PD X6, X9, X1
+	VMOVDDUP    32(R15), X9
+	VFMADD231PD X7, X9, X1
+	VMOVDDUP    40(R15), X9
+	VFMADD231PD X8, X9, X1
+
+	VMOVDDUP    48(R15), X9
+	VFMADD231PD X6, X9, X2
+	VMOVDDUP    56(R15), X9
+	VFMADD231PD X7, X9, X2
+	VMOVDDUP    64(R15), X9
+	VFMADD231PD X8, X9, X2
+
+	MOVQ i+48(FP), R14
+	CMPQ R11, R14
+	JEQ  nextblk2
+
+	MOVQ hi+56(FP), R14
+	CMPQ R11, R14
+	JLT  scat_y2
+	SUBQ R14, R11
+	MOVQ R8, R14
+	JMP  scat_go2
+
+scat_y2:
+	MOVQ BX, R14
+
+scat_go2:
+	IMULQ R12, R11
+	ADDQ  R9, R11
+	LEAQ  (R14)(R11*8), R14
+
+	VMOVUPD     (R14), X11
+	VMOVDDUP    (R15), X9
+	VFMADD231PD X3, X9, X11
+	VMOVDDUP    24(R15), X9
+	VFMADD231PD X4, X9, X11
+	VMOVDDUP    48(R15), X9
+	VFMADD231PD X5, X9, X11
+	VMOVUPD     X11, (R14)
+
+	VMOVUPD     (R14)(R13*8), X11
+	VMOVDDUP    8(R15), X9
+	VFMADD231PD X3, X9, X11
+	VMOVDDUP    32(R15), X9
+	VFMADD231PD X4, X9, X11
+	VMOVDDUP    56(R15), X9
+	VFMADD231PD X5, X9, X11
+	VMOVUPD     X11, (R14)(R13*8)
+
+	LEAQ        (R14)(R13*8), R11
+	VMOVUPD     (R11)(R13*8), X11
+	VMOVDDUP    16(R15), X9
+	VFMADD231PD X3, X9, X11
+	VMOVDDUP    40(R15), X9
+	VFMADD231PD X4, X9, X11
+	VMOVDDUP    64(R15), X9
+	VFMADD231PD X5, X9, X11
+	VMOVUPD     X11, (R11)(R13*8)
+
+nextblk2:
+	INCQ R10
+	JMP  blockloop2
+
+storeacc2:
+	LEAQ    (AX)(R9*1), R14
+	LEAQ    (BX)(R14*8), R15
+	VMOVUPD X0, (R15)
+	VMOVUPD X1, (R15)(R13*8)
+	LEAQ    (R15)(R13*8), R15
+	VMOVUPD X2, (R15)(R13*8)
+
+	ADDQ $2, R9
+	JMP  pairloop
 
 done:
 	VZEROUPPER

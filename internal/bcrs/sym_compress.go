@@ -1,0 +1,179 @@
+package bcrs
+
+import "math"
+
+// Repeated-block compression for the symmetric storage, after
+// Plana-Riu et al. (arXiv 2508.06710): many interaction matrices
+// repeat block values — lubrication pair tensors are largely
+// identical up to sign and transpose — so the value stream compresses
+// to a pool of unique canonical blocks plus one 4-byte reference per
+// stored block, cutting per-block matrix bytes from 76 (9 values + 1
+// index) to 8 (2 indices) when the pool is cache-resident. The win
+// compounds with column tiling: the tiled schedule re-streams the
+// matrix once per tile, and re-streaming references is nearly free.
+//
+// Matching is exact at the bit level: a block joins a pool entry only
+// when one of its four orientations — identity, transpose, negate,
+// negate-transpose (a Klein four-group of bit-exact involutions:
+// transpose permutes entries, negation flips sign bits) — is
+// bit-identical to the entry. Kernels re-apply the stored orientation
+// when loading, so the operands reaching the FMA chain are
+// bit-identical to the uncompressed values and every result is
+// bitwise-identical to the plain-storage kernels. Blocks that are
+// merely close never merge; DedupRatio on a matrix with no repeats is
+// simply ~1 and the compression only costs the reference stream.
+
+// Orientation bits stored in the low two bits of a block reference;
+// the remaining 30 bits hold the pool id. Decode applies the
+// transpose first, then the negation (they commute, but kernels and
+// orientBlock must agree).
+const (
+	refTranspose = 1 << 0
+	refNegate    = 1 << 1
+)
+
+// CompressStats reports what Compress achieved.
+type CompressStats struct {
+	Blocks      int     // stored upper-triangle blocks
+	Unique      int     // unique canonical blocks in the pool
+	Ratio       float64 // Unique / Blocks (1 = nothing repeated)
+	BytesBefore int64   // storage footprint before
+	BytesAfter  int64   // storage footprint after
+}
+
+// orientBlock applies an orientation to a block: transpose when
+// refTranspose is set, then negation when refNegate is set. Each is a
+// bit-exact involution, so orientBlock(orientBlock(b, o), o) == b for
+// every o, including signed zeros and NaN payloads.
+func orientBlock(b *[BlockSize]float64, o uint32) [BlockSize]float64 {
+	r := *b
+	if o&refTranspose != 0 {
+		r[1], r[3] = r[3], r[1]
+		r[2], r[6] = r[6], r[2]
+		r[5], r[7] = r[7], r[5]
+	}
+	if o&refNegate != 0 {
+		for q := range r {
+			r[q] = -r[q]
+		}
+	}
+	return r
+}
+
+// blockKey is the bit pattern of a block — map keys must compare
+// bits, not float values, or +0/-0 would merge (breaking bit-exact
+// decode) and NaN blocks would never match themselves.
+func blockKey(b *[BlockSize]float64) [BlockSize]uint64 {
+	var k [BlockSize]uint64
+	for q := range b {
+		k[q] = math.Float64bits(b[q])
+	}
+	return k
+}
+
+// Compressed reports whether the value stream has been replaced by
+// the unique-block pool.
+func (s *SymMatrix) Compressed() bool { return s.refs != nil }
+
+// UniqueBlocks returns the pool size in blocks (NNZB when not
+// compressed).
+func (s *SymMatrix) UniqueBlocks() int {
+	if s.refs == nil {
+		return s.NNZB()
+	}
+	return len(s.pool) / BlockSize
+}
+
+// DedupRatio returns unique blocks / stored blocks — 1 when nothing
+// repeats (or the matrix is uncompressed), approaching 0 for highly
+// repetitive matrices.
+func (s *SymMatrix) DedupRatio() float64 {
+	if s.NNZB() == 0 {
+		return 1
+	}
+	return float64(s.UniqueBlocks()) / float64(s.NNZB())
+}
+
+// Compress replaces the value stream with a unique-block pool and
+// per-block (id, orientation) references, freeing the original
+// values. Every subsequent multiply streams references and decodes
+// orientations at load; results stay bitwise-identical. Compress is
+// idempotent and always structurally safe — on a matrix with no
+// repeated blocks it trades 72 B/block of values for 72 B/block of
+// pool plus 4 B/block of references, so callers gate it on the
+// returned Ratio when the trade matters.
+func (s *SymMatrix) Compress() CompressStats {
+	before := s.Bytes()
+	if s.refs == nil {
+		seen := make(map[[BlockSize]uint64]uint32, len(s.colIdx)/4+1)
+		refs := make([]uint32, len(s.colIdx))
+		var pool []float64
+		for k := range refs {
+			var blk [BlockSize]float64
+			copy(blk[:], s.vals[k*BlockSize:(k+1)*BlockSize])
+			found := false
+			for o := uint32(0); o < 4 && !found; o++ {
+				cand := orientBlock(&blk, o)
+				if id, ok := seen[blockKey(&cand)]; ok {
+					// cand == pool[id] bit-for-bit, and orientations
+					// are involutions, so blk == orient(pool[id], o).
+					refs[k] = id<<2 | o
+					found = true
+				}
+			}
+			if !found {
+				id := uint32(len(pool) / BlockSize)
+				pool = append(pool, blk[:]...)
+				seen[blockKey(&blk)] = id
+				refs[k] = id << 2
+			}
+		}
+		s.pool, s.refs, s.vals = pool, refs, nil
+	}
+	return CompressStats{
+		Blocks:      s.NNZB(),
+		Unique:      s.UniqueBlocks(),
+		Ratio:       s.DedupRatio(),
+		BytesBefore: before,
+		BytesAfter:  s.Bytes(),
+	}
+}
+
+// poolKernel dispatches the compressed-storage kernels for columns
+// [c0, c0+w) of a width-m multiply.
+func (s *SymMatrix) poolKernel(m, c0, w int, forceGeneric bool) symKernel {
+	kern := func(x, y, part []float64, lo, hi int) {
+		symPoolGeneric(s.rowPtr, s.colIdx, s.refs, s.pool, x, y, part, m, c0, w, lo, hi)
+	}
+	if forceGeneric {
+		return kern
+	}
+	if m == 1 {
+		return func(x, y, part []float64, lo, hi int) {
+			symPool1(s.rowPtr, s.colIdx, s.refs, s.pool, x, y, part, lo, hi)
+		}
+	}
+	switch w {
+	case 2:
+		kern = func(x, y, part []float64, lo, hi int) {
+			symPoolTile2(s.rowPtr, s.colIdx, s.refs, s.pool, x, y, part, m, c0, lo, hi)
+		}
+	case 4:
+		kern = func(x, y, part []float64, lo, hi int) {
+			symPoolTile4(s.rowPtr, s.colIdx, s.refs, s.pool, x, y, part, m, c0, lo, hi)
+		}
+	case 8:
+		kern = func(x, y, part []float64, lo, hi int) {
+			symPoolTile8(s.rowPtr, s.colIdx, s.refs, s.pool, x, y, part, m, c0, lo, hi)
+		}
+	case 16:
+		kern = func(x, y, part []float64, lo, hi int) {
+			symPoolTile16(s.rowPtr, s.colIdx, s.refs, s.pool, x, y, part, m, c0, lo, hi)
+		}
+	case 32:
+		kern = func(x, y, part []float64, lo, hi int) {
+			symPoolTile32(s.rowPtr, s.colIdx, s.refs, s.pool, x, y, part, m, c0, lo, hi)
+		}
+	}
+	return kern
+}

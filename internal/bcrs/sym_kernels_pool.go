@@ -1,0 +1,411 @@
+package bcrs
+
+import "math"
+
+// Compressed-storage symmetric GSPMV kernels: the tile-kernel family
+// (sym_kernels_tiled.go) reading blocks through the unique-block pool.
+// Per stored block the kernel loads a 4-byte reference, fetches the
+// canonical block from the pool, and re-applies the stored
+// orientation — a transpose is a register permutation, a negation
+// nine sign flips — before running the exact FMA chain of the plain
+// kernels on bit-identical operands. Full width is the c0 = 0, w = m
+// case, so this family serves both the single-pass and the
+// column-tiled schedule.
+//
+// The decode is deliberately repeated verbatim in each kernel body
+// (rather than a helper returning nine values) so it stays inside the
+// block loop's register allocation.
+
+// symPool1 is the specialized m=1 kernel, mirroring symSpmv1.
+func symPool1(rowPtr, colIdx []int32, refs []uint32, pool, x, y, part []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s0, s1, s2 := y[i*BlockDim], y[i*BlockDim+1], y[i*BlockDim+2]
+		xi0, xi1, xi2 := x[i*BlockDim], x[i*BlockDim+1], x[i*BlockDim+2]
+		for k := int(rowPtr[i]); k < int(rowPtr[i+1]); k++ {
+			ref := refs[k]
+			po := int(ref>>2) * BlockSize
+			v := pool[po : po+BlockSize : po+BlockSize]
+			a00, a01, a02 := v[0], v[1], v[2]
+			a10, a11, a12 := v[3], v[4], v[5]
+			a20, a21, a22 := v[6], v[7], v[8]
+			if ref&refTranspose != 0 {
+				a01, a10 = a10, a01
+				a02, a20 = a20, a02
+				a12, a21 = a21, a12
+			}
+			if ref&refNegate != 0 {
+				a00, a01, a02 = -a00, -a01, -a02
+				a10, a11, a12 = -a10, -a11, -a12
+				a20, a21, a22 = -a20, -a21, -a22
+			}
+			j := int(colIdx[k])
+			xj := x[j*BlockDim : j*BlockDim+BlockDim : j*BlockDim+BlockDim]
+			x0, x1, x2 := xj[0], xj[1], xj[2]
+			s0 = math.FMA(a02, x2, math.FMA(a01, x1, math.FMA(a00, x0, s0)))
+			s1 = math.FMA(a12, x2, math.FMA(a11, x1, math.FMA(a10, x0, s1)))
+			s2 = math.FMA(a22, x2, math.FMA(a21, x1, math.FMA(a20, x0, s2)))
+			if j != i {
+				var dst []float64
+				if j < hi {
+					dst = y[j*BlockDim : j*BlockDim+BlockDim : j*BlockDim+BlockDim]
+				} else {
+					o := (j - hi) * BlockDim
+					dst = part[o : o+BlockDim : o+BlockDim]
+				}
+				dst[0] = math.FMA(a20, xi2, math.FMA(a10, xi1, math.FMA(a00, xi0, dst[0])))
+				dst[1] = math.FMA(a21, xi2, math.FMA(a11, xi1, math.FMA(a01, xi0, dst[1])))
+				dst[2] = math.FMA(a22, xi2, math.FMA(a12, xi1, math.FMA(a02, xi0, dst[2])))
+			}
+		}
+		y[i*BlockDim] = s0
+		y[i*BlockDim+1] = s1
+		y[i*BlockDim+2] = s2
+	}
+}
+
+// symPoolGeneric handles arbitrary tile widths.
+func symPoolGeneric(rowPtr, colIdx []int32, refs []uint32, pool, x, y, part []float64, m, c0, w, lo, hi int) {
+	bm := BlockDim * m
+	for i := lo; i < hi; i++ {
+		io := i*bm + c0
+		yi := y[io : io+2*m+w : io+2*m+w]
+		xi := x[io : io+2*m+w : io+2*m+w]
+		for k := int(rowPtr[i]); k < int(rowPtr[i+1]); k++ {
+			ref := refs[k]
+			po := int(ref>>2) * BlockSize
+			v := pool[po : po+BlockSize : po+BlockSize]
+			a00, a01, a02 := v[0], v[1], v[2]
+			a10, a11, a12 := v[3], v[4], v[5]
+			a20, a21, a22 := v[6], v[7], v[8]
+			if ref&refTranspose != 0 {
+				a01, a10 = a10, a01
+				a02, a20 = a20, a02
+				a12, a21 = a21, a12
+			}
+			if ref&refNegate != 0 {
+				a00, a01, a02 = -a00, -a01, -a02
+				a10, a11, a12 = -a10, -a11, -a12
+				a20, a21, a22 = -a20, -a21, -a22
+			}
+			j := int(colIdx[k])
+			jo := j*bm + c0
+			xj := x[jo : jo+2*m+w : jo+2*m+w]
+			for q := 0; q < w; q++ {
+				x0, x1, x2 := xj[q], xj[m+q], xj[2*m+q]
+				yi[q] = math.FMA(a02, x2, math.FMA(a01, x1, math.FMA(a00, x0, yi[q])))
+				yi[m+q] = math.FMA(a12, x2, math.FMA(a11, x1, math.FMA(a10, x0, yi[m+q])))
+				yi[2*m+q] = math.FMA(a22, x2, math.FMA(a21, x1, math.FMA(a20, x0, yi[2*m+q])))
+			}
+			if j != i {
+				var dst []float64
+				if j < hi {
+					dst = y[jo : jo+2*m+w : jo+2*m+w]
+				} else {
+					o := (j-hi)*bm + c0
+					dst = part[o : o+2*m+w : o+2*m+w]
+				}
+				for q := 0; q < w; q++ {
+					x0, x1, x2 := xi[q], xi[m+q], xi[2*m+q]
+					dst[q] = math.FMA(a20, x2, math.FMA(a10, x1, math.FMA(a00, x0, dst[q])))
+					dst[m+q] = math.FMA(a21, x2, math.FMA(a11, x1, math.FMA(a01, x0, dst[m+q])))
+					dst[2*m+q] = math.FMA(a22, x2, math.FMA(a12, x1, math.FMA(a02, x0, dst[2*m+q])))
+				}
+			}
+		}
+	}
+}
+
+func symPoolTile2(rowPtr, colIdx []int32, refs []uint32, pool, x, y, part []float64, m, c0, lo, hi int) {
+	const w = 2
+	bm := BlockDim * m
+	for i := lo; i < hi; i++ {
+		io := i*bm + c0
+		var acc [BlockDim * w]float64
+		yb := y[io : io+2*m+w : io+2*m+w]
+		copy(acc[0:w], yb[0:w])
+		copy(acc[w:2*w], yb[m:m+w])
+		copy(acc[2*w:3*w], yb[2*m:2*m+w])
+		xb := x[io : io+2*m+w : io+2*m+w]
+		for k := int(rowPtr[i]); k < int(rowPtr[i+1]); k++ {
+			ref := refs[k]
+			po := int(ref>>2) * BlockSize
+			v := pool[po : po+BlockSize : po+BlockSize]
+			a00, a01, a02 := v[0], v[1], v[2]
+			a10, a11, a12 := v[3], v[4], v[5]
+			a20, a21, a22 := v[6], v[7], v[8]
+			if ref&refTranspose != 0 {
+				a01, a10 = a10, a01
+				a02, a20 = a20, a02
+				a12, a21 = a21, a12
+			}
+			if ref&refNegate != 0 {
+				a00, a01, a02 = -a00, -a01, -a02
+				a10, a11, a12 = -a10, -a11, -a12
+				a20, a21, a22 = -a20, -a21, -a22
+			}
+			j := int(colIdx[k])
+			jo := j*bm + c0
+			xj := x[jo : jo+2*m+w : jo+2*m+w]
+			for q := 0; q < w; q++ {
+				x0, x1, x2 := xj[q], xj[m+q], xj[2*m+q]
+				acc[q] = math.FMA(a02, x2, math.FMA(a01, x1, math.FMA(a00, x0, acc[q])))
+				acc[w+q] = math.FMA(a12, x2, math.FMA(a11, x1, math.FMA(a10, x0, acc[w+q])))
+				acc[2*w+q] = math.FMA(a22, x2, math.FMA(a21, x1, math.FMA(a20, x0, acc[2*w+q])))
+			}
+			if j != i {
+				var dst []float64
+				if j < hi {
+					dst = y[jo : jo+2*m+w : jo+2*m+w]
+				} else {
+					o := (j-hi)*bm + c0
+					dst = part[o : o+2*m+w : o+2*m+w]
+				}
+				for q := 0; q < w; q++ {
+					x0, x1, x2 := xb[q], xb[m+q], xb[2*m+q]
+					dst[q] = math.FMA(a20, x2, math.FMA(a10, x1, math.FMA(a00, x0, dst[q])))
+					dst[m+q] = math.FMA(a21, x2, math.FMA(a11, x1, math.FMA(a01, x0, dst[m+q])))
+					dst[2*m+q] = math.FMA(a22, x2, math.FMA(a12, x1, math.FMA(a02, x0, dst[2*m+q])))
+				}
+			}
+		}
+		copy(yb[0:w], acc[0:w])
+		copy(yb[m:m+w], acc[w:2*w])
+		copy(yb[2*m:2*m+w], acc[2*w:3*w])
+	}
+}
+
+func symPoolTile4(rowPtr, colIdx []int32, refs []uint32, pool, x, y, part []float64, m, c0, lo, hi int) {
+	const w = 4
+	bm := BlockDim * m
+	for i := lo; i < hi; i++ {
+		io := i*bm + c0
+		var acc [BlockDim * w]float64
+		yb := y[io : io+2*m+w : io+2*m+w]
+		copy(acc[0:w], yb[0:w])
+		copy(acc[w:2*w], yb[m:m+w])
+		copy(acc[2*w:3*w], yb[2*m:2*m+w])
+		xb := x[io : io+2*m+w : io+2*m+w]
+		for k := int(rowPtr[i]); k < int(rowPtr[i+1]); k++ {
+			ref := refs[k]
+			po := int(ref>>2) * BlockSize
+			v := pool[po : po+BlockSize : po+BlockSize]
+			a00, a01, a02 := v[0], v[1], v[2]
+			a10, a11, a12 := v[3], v[4], v[5]
+			a20, a21, a22 := v[6], v[7], v[8]
+			if ref&refTranspose != 0 {
+				a01, a10 = a10, a01
+				a02, a20 = a20, a02
+				a12, a21 = a21, a12
+			}
+			if ref&refNegate != 0 {
+				a00, a01, a02 = -a00, -a01, -a02
+				a10, a11, a12 = -a10, -a11, -a12
+				a20, a21, a22 = -a20, -a21, -a22
+			}
+			j := int(colIdx[k])
+			jo := j*bm + c0
+			xj := x[jo : jo+2*m+w : jo+2*m+w]
+			for q := 0; q < w; q++ {
+				x0, x1, x2 := xj[q], xj[m+q], xj[2*m+q]
+				acc[q] = math.FMA(a02, x2, math.FMA(a01, x1, math.FMA(a00, x0, acc[q])))
+				acc[w+q] = math.FMA(a12, x2, math.FMA(a11, x1, math.FMA(a10, x0, acc[w+q])))
+				acc[2*w+q] = math.FMA(a22, x2, math.FMA(a21, x1, math.FMA(a20, x0, acc[2*w+q])))
+			}
+			if j != i {
+				var dst []float64
+				if j < hi {
+					dst = y[jo : jo+2*m+w : jo+2*m+w]
+				} else {
+					o := (j-hi)*bm + c0
+					dst = part[o : o+2*m+w : o+2*m+w]
+				}
+				for q := 0; q < w; q++ {
+					x0, x1, x2 := xb[q], xb[m+q], xb[2*m+q]
+					dst[q] = math.FMA(a20, x2, math.FMA(a10, x1, math.FMA(a00, x0, dst[q])))
+					dst[m+q] = math.FMA(a21, x2, math.FMA(a11, x1, math.FMA(a01, x0, dst[m+q])))
+					dst[2*m+q] = math.FMA(a22, x2, math.FMA(a12, x1, math.FMA(a02, x0, dst[2*m+q])))
+				}
+			}
+		}
+		copy(yb[0:w], acc[0:w])
+		copy(yb[m:m+w], acc[w:2*w])
+		copy(yb[2*m:2*m+w], acc[2*w:3*w])
+	}
+}
+
+func symPoolTile8(rowPtr, colIdx []int32, refs []uint32, pool, x, y, part []float64, m, c0, lo, hi int) {
+	const w = 8
+	bm := BlockDim * m
+	for i := lo; i < hi; i++ {
+		io := i*bm + c0
+		var acc [BlockDim * w]float64
+		yb := y[io : io+2*m+w : io+2*m+w]
+		copy(acc[0:w], yb[0:w])
+		copy(acc[w:2*w], yb[m:m+w])
+		copy(acc[2*w:3*w], yb[2*m:2*m+w])
+		xb := x[io : io+2*m+w : io+2*m+w]
+		for k := int(rowPtr[i]); k < int(rowPtr[i+1]); k++ {
+			ref := refs[k]
+			po := int(ref>>2) * BlockSize
+			v := pool[po : po+BlockSize : po+BlockSize]
+			a00, a01, a02 := v[0], v[1], v[2]
+			a10, a11, a12 := v[3], v[4], v[5]
+			a20, a21, a22 := v[6], v[7], v[8]
+			if ref&refTranspose != 0 {
+				a01, a10 = a10, a01
+				a02, a20 = a20, a02
+				a12, a21 = a21, a12
+			}
+			if ref&refNegate != 0 {
+				a00, a01, a02 = -a00, -a01, -a02
+				a10, a11, a12 = -a10, -a11, -a12
+				a20, a21, a22 = -a20, -a21, -a22
+			}
+			j := int(colIdx[k])
+			jo := j*bm + c0
+			xj := x[jo : jo+2*m+w : jo+2*m+w]
+			for q := 0; q < w; q++ {
+				x0, x1, x2 := xj[q], xj[m+q], xj[2*m+q]
+				acc[q] = math.FMA(a02, x2, math.FMA(a01, x1, math.FMA(a00, x0, acc[q])))
+				acc[w+q] = math.FMA(a12, x2, math.FMA(a11, x1, math.FMA(a10, x0, acc[w+q])))
+				acc[2*w+q] = math.FMA(a22, x2, math.FMA(a21, x1, math.FMA(a20, x0, acc[2*w+q])))
+			}
+			if j != i {
+				var dst []float64
+				if j < hi {
+					dst = y[jo : jo+2*m+w : jo+2*m+w]
+				} else {
+					o := (j-hi)*bm + c0
+					dst = part[o : o+2*m+w : o+2*m+w]
+				}
+				for q := 0; q < w; q++ {
+					x0, x1, x2 := xb[q], xb[m+q], xb[2*m+q]
+					dst[q] = math.FMA(a20, x2, math.FMA(a10, x1, math.FMA(a00, x0, dst[q])))
+					dst[m+q] = math.FMA(a21, x2, math.FMA(a11, x1, math.FMA(a01, x0, dst[m+q])))
+					dst[2*m+q] = math.FMA(a22, x2, math.FMA(a12, x1, math.FMA(a02, x0, dst[2*m+q])))
+				}
+			}
+		}
+		copy(yb[0:w], acc[0:w])
+		copy(yb[m:m+w], acc[w:2*w])
+		copy(yb[2*m:2*m+w], acc[2*w:3*w])
+	}
+}
+
+func symPoolTile16(rowPtr, colIdx []int32, refs []uint32, pool, x, y, part []float64, m, c0, lo, hi int) {
+	const w = 16
+	bm := BlockDim * m
+	for i := lo; i < hi; i++ {
+		io := i*bm + c0
+		var acc [BlockDim * w]float64
+		yb := y[io : io+2*m+w : io+2*m+w]
+		copy(acc[0:w], yb[0:w])
+		copy(acc[w:2*w], yb[m:m+w])
+		copy(acc[2*w:3*w], yb[2*m:2*m+w])
+		xb := x[io : io+2*m+w : io+2*m+w]
+		for k := int(rowPtr[i]); k < int(rowPtr[i+1]); k++ {
+			ref := refs[k]
+			po := int(ref>>2) * BlockSize
+			v := pool[po : po+BlockSize : po+BlockSize]
+			a00, a01, a02 := v[0], v[1], v[2]
+			a10, a11, a12 := v[3], v[4], v[5]
+			a20, a21, a22 := v[6], v[7], v[8]
+			if ref&refTranspose != 0 {
+				a01, a10 = a10, a01
+				a02, a20 = a20, a02
+				a12, a21 = a21, a12
+			}
+			if ref&refNegate != 0 {
+				a00, a01, a02 = -a00, -a01, -a02
+				a10, a11, a12 = -a10, -a11, -a12
+				a20, a21, a22 = -a20, -a21, -a22
+			}
+			j := int(colIdx[k])
+			jo := j*bm + c0
+			xj := x[jo : jo+2*m+w : jo+2*m+w]
+			for q := 0; q < w; q++ {
+				x0, x1, x2 := xj[q], xj[m+q], xj[2*m+q]
+				acc[q] = math.FMA(a02, x2, math.FMA(a01, x1, math.FMA(a00, x0, acc[q])))
+				acc[w+q] = math.FMA(a12, x2, math.FMA(a11, x1, math.FMA(a10, x0, acc[w+q])))
+				acc[2*w+q] = math.FMA(a22, x2, math.FMA(a21, x1, math.FMA(a20, x0, acc[2*w+q])))
+			}
+			if j != i {
+				var dst []float64
+				if j < hi {
+					dst = y[jo : jo+2*m+w : jo+2*m+w]
+				} else {
+					o := (j-hi)*bm + c0
+					dst = part[o : o+2*m+w : o+2*m+w]
+				}
+				for q := 0; q < w; q++ {
+					x0, x1, x2 := xb[q], xb[m+q], xb[2*m+q]
+					dst[q] = math.FMA(a20, x2, math.FMA(a10, x1, math.FMA(a00, x0, dst[q])))
+					dst[m+q] = math.FMA(a21, x2, math.FMA(a11, x1, math.FMA(a01, x0, dst[m+q])))
+					dst[2*m+q] = math.FMA(a22, x2, math.FMA(a12, x1, math.FMA(a02, x0, dst[2*m+q])))
+				}
+			}
+		}
+		copy(yb[0:w], acc[0:w])
+		copy(yb[m:m+w], acc[w:2*w])
+		copy(yb[2*m:2*m+w], acc[2*w:3*w])
+	}
+}
+
+func symPoolTile32(rowPtr, colIdx []int32, refs []uint32, pool, x, y, part []float64, m, c0, lo, hi int) {
+	const w = 32
+	bm := BlockDim * m
+	for i := lo; i < hi; i++ {
+		io := i*bm + c0
+		var acc [BlockDim * w]float64
+		yb := y[io : io+2*m+w : io+2*m+w]
+		copy(acc[0:w], yb[0:w])
+		copy(acc[w:2*w], yb[m:m+w])
+		copy(acc[2*w:3*w], yb[2*m:2*m+w])
+		xb := x[io : io+2*m+w : io+2*m+w]
+		for k := int(rowPtr[i]); k < int(rowPtr[i+1]); k++ {
+			ref := refs[k]
+			po := int(ref>>2) * BlockSize
+			v := pool[po : po+BlockSize : po+BlockSize]
+			a00, a01, a02 := v[0], v[1], v[2]
+			a10, a11, a12 := v[3], v[4], v[5]
+			a20, a21, a22 := v[6], v[7], v[8]
+			if ref&refTranspose != 0 {
+				a01, a10 = a10, a01
+				a02, a20 = a20, a02
+				a12, a21 = a21, a12
+			}
+			if ref&refNegate != 0 {
+				a00, a01, a02 = -a00, -a01, -a02
+				a10, a11, a12 = -a10, -a11, -a12
+				a20, a21, a22 = -a20, -a21, -a22
+			}
+			j := int(colIdx[k])
+			jo := j*bm + c0
+			xj := x[jo : jo+2*m+w : jo+2*m+w]
+			for q := 0; q < w; q++ {
+				x0, x1, x2 := xj[q], xj[m+q], xj[2*m+q]
+				acc[q] = math.FMA(a02, x2, math.FMA(a01, x1, math.FMA(a00, x0, acc[q])))
+				acc[w+q] = math.FMA(a12, x2, math.FMA(a11, x1, math.FMA(a10, x0, acc[w+q])))
+				acc[2*w+q] = math.FMA(a22, x2, math.FMA(a21, x1, math.FMA(a20, x0, acc[2*w+q])))
+			}
+			if j != i {
+				var dst []float64
+				if j < hi {
+					dst = y[jo : jo+2*m+w : jo+2*m+w]
+				} else {
+					o := (j-hi)*bm + c0
+					dst = part[o : o+2*m+w : o+2*m+w]
+				}
+				for q := 0; q < w; q++ {
+					x0, x1, x2 := xb[q], xb[m+q], xb[2*m+q]
+					dst[q] = math.FMA(a20, x2, math.FMA(a10, x1, math.FMA(a00, x0, dst[q])))
+					dst[m+q] = math.FMA(a21, x2, math.FMA(a11, x1, math.FMA(a01, x0, dst[m+q])))
+					dst[2*m+q] = math.FMA(a22, x2, math.FMA(a12, x1, math.FMA(a02, x0, dst[2*m+q])))
+				}
+			}
+		}
+		copy(yb[0:w], acc[0:w])
+		copy(yb[m:m+w], acc[w:2*w])
+		copy(yb[2*m:2*m+w], acc[2*w:3*w])
+	}
+}

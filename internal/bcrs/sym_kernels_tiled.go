@@ -1,0 +1,207 @@
+package bcrs
+
+import "math"
+
+// Column-tile symmetric GSPMV kernels: each processes columns
+// [c0, c0+w) of a width-m multiply over block rows [lo, hi), reading
+// and writing the full-stride (m-column) rows of x, y, and part at
+// column offset c0. Streaming the matrix once per tile keeps the
+// span-wide X/Y window of a tile cache-resident at large m — the
+// paper's Section IV-A1 cache-blocking applied to the multivector
+// columns instead of the matrix columns, which (unlike matrix
+// banding) leaves the per-column operation sequence untouched: every
+// column runs the exact FMA chain of the full-width kernels
+// (sym_kernels.go), in the same row order, so tiled results are
+// bitwise-identical to single-pass results.
+//
+// The scatter-destination contract matches symKernel: in-range
+// columns accumulate into y, block rows >= hi into part, whose block
+// row 0 corresponds to block row hi and whose rows keep the full 3m
+// stride (only the tile's columns are touched).
+
+// symTileGeneric handles arbitrary tile widths.
+func symTileGeneric(rowPtr, colIdx []int32, vals, x, y, part []float64, m, c0, w, lo, hi int) {
+	bm := BlockDim * m
+	for i := lo; i < hi; i++ {
+		io := i*bm + c0
+		yi := y[io : io+2*m+w : io+2*m+w]
+		xi := x[io : io+2*m+w : io+2*m+w]
+		for k := int(rowPtr[i]); k < int(rowPtr[i+1]); k++ {
+			v := vals[k*BlockSize : k*BlockSize+BlockSize : k*BlockSize+BlockSize]
+			j := int(colIdx[k])
+			jo := j*bm + c0
+			xj := x[jo : jo+2*m+w : jo+2*m+w]
+			a00, a01, a02 := v[0], v[1], v[2]
+			a10, a11, a12 := v[3], v[4], v[5]
+			a20, a21, a22 := v[6], v[7], v[8]
+			for q := 0; q < w; q++ {
+				x0, x1, x2 := xj[q], xj[m+q], xj[2*m+q]
+				yi[q] = math.FMA(a02, x2, math.FMA(a01, x1, math.FMA(a00, x0, yi[q])))
+				yi[m+q] = math.FMA(a12, x2, math.FMA(a11, x1, math.FMA(a10, x0, yi[m+q])))
+				yi[2*m+q] = math.FMA(a22, x2, math.FMA(a21, x1, math.FMA(a20, x0, yi[2*m+q])))
+			}
+			if j != i {
+				var dst []float64
+				if j < hi {
+					dst = y[jo : jo+2*m+w : jo+2*m+w]
+				} else {
+					po := (j-hi)*bm + c0
+					dst = part[po : po+2*m+w : po+2*m+w]
+				}
+				for q := 0; q < w; q++ {
+					x0, x1, x2 := xi[q], xi[m+q], xi[2*m+q]
+					dst[q] = math.FMA(a20, x2, math.FMA(a10, x1, math.FMA(a00, x0, dst[q])))
+					dst[m+q] = math.FMA(a21, x2, math.FMA(a11, x1, math.FMA(a01, x0, dst[m+q])))
+					dst[2*m+q] = math.FMA(a22, x2, math.FMA(a12, x1, math.FMA(a02, x0, dst[2*m+q])))
+				}
+			}
+		}
+	}
+}
+
+// The fixed-width tile kernels mirror the unrolled full-width family
+// (sym_kernels_unrolled.go): the constant trip count frees the
+// compiler to keep the block in registers, and the stack accumulator
+// (seeded from y's tile columns to carry earlier in-range scatter)
+// keeps row i out of memory until the block row completes.
+
+func symTile4(rowPtr, colIdx []int32, vals, x, y, part []float64, m, c0, lo, hi int) {
+	const w = 4
+	bm := BlockDim * m
+	for i := lo; i < hi; i++ {
+		io := i*bm + c0
+		var acc [BlockDim * w]float64
+		yb := y[io : io+2*m+w : io+2*m+w]
+		copy(acc[0:w], yb[0:w])
+		copy(acc[w:2*w], yb[m:m+w])
+		copy(acc[2*w:3*w], yb[2*m:2*m+w])
+		xb := x[io : io+2*m+w : io+2*m+w]
+		for k := int(rowPtr[i]); k < int(rowPtr[i+1]); k++ {
+			v := vals[k*BlockSize : k*BlockSize+BlockSize : k*BlockSize+BlockSize]
+			j := int(colIdx[k])
+			jo := j*bm + c0
+			xj := x[jo : jo+2*m+w : jo+2*m+w]
+			a00, a01, a02 := v[0], v[1], v[2]
+			a10, a11, a12 := v[3], v[4], v[5]
+			a20, a21, a22 := v[6], v[7], v[8]
+			for q := 0; q < w; q++ {
+				x0, x1, x2 := xj[q], xj[m+q], xj[2*m+q]
+				acc[q] = math.FMA(a02, x2, math.FMA(a01, x1, math.FMA(a00, x0, acc[q])))
+				acc[w+q] = math.FMA(a12, x2, math.FMA(a11, x1, math.FMA(a10, x0, acc[w+q])))
+				acc[2*w+q] = math.FMA(a22, x2, math.FMA(a21, x1, math.FMA(a20, x0, acc[2*w+q])))
+			}
+			if j != i {
+				var dst []float64
+				if j < hi {
+					dst = y[jo : jo+2*m+w : jo+2*m+w]
+				} else {
+					po := (j-hi)*bm + c0
+					dst = part[po : po+2*m+w : po+2*m+w]
+				}
+				for q := 0; q < w; q++ {
+					x0, x1, x2 := xb[q], xb[m+q], xb[2*m+q]
+					dst[q] = math.FMA(a20, x2, math.FMA(a10, x1, math.FMA(a00, x0, dst[q])))
+					dst[m+q] = math.FMA(a21, x2, math.FMA(a11, x1, math.FMA(a01, x0, dst[m+q])))
+					dst[2*m+q] = math.FMA(a22, x2, math.FMA(a12, x1, math.FMA(a02, x0, dst[2*m+q])))
+				}
+			}
+		}
+		copy(yb[0:w], acc[0:w])
+		copy(yb[m:m+w], acc[w:2*w])
+		copy(yb[2*m:2*m+w], acc[2*w:3*w])
+	}
+}
+
+func symTile8(rowPtr, colIdx []int32, vals, x, y, part []float64, m, c0, lo, hi int) {
+	const w = 8
+	bm := BlockDim * m
+	for i := lo; i < hi; i++ {
+		io := i*bm + c0
+		var acc [BlockDim * w]float64
+		yb := y[io : io+2*m+w : io+2*m+w]
+		copy(acc[0:w], yb[0:w])
+		copy(acc[w:2*w], yb[m:m+w])
+		copy(acc[2*w:3*w], yb[2*m:2*m+w])
+		xb := x[io : io+2*m+w : io+2*m+w]
+		for k := int(rowPtr[i]); k < int(rowPtr[i+1]); k++ {
+			v := vals[k*BlockSize : k*BlockSize+BlockSize : k*BlockSize+BlockSize]
+			j := int(colIdx[k])
+			jo := j*bm + c0
+			xj := x[jo : jo+2*m+w : jo+2*m+w]
+			a00, a01, a02 := v[0], v[1], v[2]
+			a10, a11, a12 := v[3], v[4], v[5]
+			a20, a21, a22 := v[6], v[7], v[8]
+			for q := 0; q < w; q++ {
+				x0, x1, x2 := xj[q], xj[m+q], xj[2*m+q]
+				acc[q] = math.FMA(a02, x2, math.FMA(a01, x1, math.FMA(a00, x0, acc[q])))
+				acc[w+q] = math.FMA(a12, x2, math.FMA(a11, x1, math.FMA(a10, x0, acc[w+q])))
+				acc[2*w+q] = math.FMA(a22, x2, math.FMA(a21, x1, math.FMA(a20, x0, acc[2*w+q])))
+			}
+			if j != i {
+				var dst []float64
+				if j < hi {
+					dst = y[jo : jo+2*m+w : jo+2*m+w]
+				} else {
+					po := (j-hi)*bm + c0
+					dst = part[po : po+2*m+w : po+2*m+w]
+				}
+				for q := 0; q < w; q++ {
+					x0, x1, x2 := xb[q], xb[m+q], xb[2*m+q]
+					dst[q] = math.FMA(a20, x2, math.FMA(a10, x1, math.FMA(a00, x0, dst[q])))
+					dst[m+q] = math.FMA(a21, x2, math.FMA(a11, x1, math.FMA(a01, x0, dst[m+q])))
+					dst[2*m+q] = math.FMA(a22, x2, math.FMA(a12, x1, math.FMA(a02, x0, dst[2*m+q])))
+				}
+			}
+		}
+		copy(yb[0:w], acc[0:w])
+		copy(yb[m:m+w], acc[w:2*w])
+		copy(yb[2*m:2*m+w], acc[2*w:3*w])
+	}
+}
+
+func symTile16(rowPtr, colIdx []int32, vals, x, y, part []float64, m, c0, lo, hi int) {
+	const w = 16
+	bm := BlockDim * m
+	for i := lo; i < hi; i++ {
+		io := i*bm + c0
+		var acc [BlockDim * w]float64
+		yb := y[io : io+2*m+w : io+2*m+w]
+		copy(acc[0:w], yb[0:w])
+		copy(acc[w:2*w], yb[m:m+w])
+		copy(acc[2*w:3*w], yb[2*m:2*m+w])
+		xb := x[io : io+2*m+w : io+2*m+w]
+		for k := int(rowPtr[i]); k < int(rowPtr[i+1]); k++ {
+			v := vals[k*BlockSize : k*BlockSize+BlockSize : k*BlockSize+BlockSize]
+			j := int(colIdx[k])
+			jo := j*bm + c0
+			xj := x[jo : jo+2*m+w : jo+2*m+w]
+			a00, a01, a02 := v[0], v[1], v[2]
+			a10, a11, a12 := v[3], v[4], v[5]
+			a20, a21, a22 := v[6], v[7], v[8]
+			for q := 0; q < w; q++ {
+				x0, x1, x2 := xj[q], xj[m+q], xj[2*m+q]
+				acc[q] = math.FMA(a02, x2, math.FMA(a01, x1, math.FMA(a00, x0, acc[q])))
+				acc[w+q] = math.FMA(a12, x2, math.FMA(a11, x1, math.FMA(a10, x0, acc[w+q])))
+				acc[2*w+q] = math.FMA(a22, x2, math.FMA(a21, x1, math.FMA(a20, x0, acc[2*w+q])))
+			}
+			if j != i {
+				var dst []float64
+				if j < hi {
+					dst = y[jo : jo+2*m+w : jo+2*m+w]
+				} else {
+					po := (j-hi)*bm + c0
+					dst = part[po : po+2*m+w : po+2*m+w]
+				}
+				for q := 0; q < w; q++ {
+					x0, x1, x2 := xb[q], xb[m+q], xb[2*m+q]
+					dst[q] = math.FMA(a20, x2, math.FMA(a10, x1, math.FMA(a00, x0, dst[q])))
+					dst[m+q] = math.FMA(a21, x2, math.FMA(a11, x1, math.FMA(a01, x0, dst[m+q])))
+					dst[2*m+q] = math.FMA(a22, x2, math.FMA(a12, x1, math.FMA(a02, x0, dst[2*m+q])))
+				}
+			}
+		}
+		copy(yb[0:w], acc[0:w])
+		copy(yb[m:m+w], acc[w:2*w])
+		copy(yb[2*m:2*m+w], acc[2*w:3*w])
+	}
+}

@@ -1,0 +1,367 @@
+package bcrs
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/multivec"
+	"repro/internal/rng"
+)
+
+// randomMulti fills an N x m multivector deterministically.
+func randomMulti(n, m int, seed uint64) *multivec.MultiVec {
+	r := rng.New(seed)
+	x := multivec.New(n, m)
+	for i := range x.Data {
+		x.Data[i] = r.Normal()
+	}
+	return x
+}
+
+// mulBits runs one Mul and returns the raw result bits.
+func mulBits(s *SymMatrix, x *multivec.MultiVec) []uint64 {
+	y := multivec.New(x.N, x.M)
+	s.Mul(y, x)
+	bits := make([]uint64, len(y.Data))
+	for i, v := range y.Data {
+		bits[i] = math.Float64bits(v)
+	}
+	return bits
+}
+
+// TestSymTiledBitwiseMatchesSinglePass is the cache-blocked schedule's
+// core property: for every forced tile width — SIMD-served, unrolled,
+// and generic (odd) alike — the tiled multiply is bitwise-identical to
+// the single-pass reference at the same thread count, because each
+// column tile runs the same per-column FMA chain in the same row order
+// and the same ordered fold.
+func TestSymTiledBitwiseMatchesSinglePass(t *testing.T) {
+	for name, a := range symTestMatrices() {
+		s := NewSymUnchecked(a)
+		for _, threads := range []int{1, 2, 3, 5, 8} {
+			s.SetThreads(threads)
+			for _, m := range []int{2, 3, 4, 5, 8, 16, 32} {
+				x := randomMulti(a.N(), m, uint64(m)*977+uint64(threads))
+				s.SetTileCols(-1)
+				ref := mulBits(s, x)
+				for _, tw := range []int{2, 3, 4, 5, 8, 16} {
+					if tw >= m {
+						continue
+					}
+					s.SetTileCols(tw)
+					got := mulBits(s, x)
+					for i := range got {
+						if got[i] != ref[i] {
+							t.Fatalf("%s threads=%d m=%d tile=%d: tiled Mul not bitwise-identical at %d",
+								name, threads, m, tw, i)
+						}
+					}
+				}
+				s.SetTileCols(0)
+			}
+		}
+	}
+}
+
+// TestSymCompressedBitwiseMatchesPlain checks that compressed-storage
+// multiplies — single-pass and tiled — are bitwise-identical to the
+// plain-storage single-pass schedule: orientation decode reconstructs
+// the exact operand bits, so the FMA chains see identical inputs.
+func TestSymCompressedBitwiseMatchesPlain(t *testing.T) {
+	mats := symTestMatrices()
+	// A repeated-block matrix exercises real pool sharing (the others
+	// compress to ratio ~1, covering the no-repeats fallback).
+	mats["repeated"] = Random(RandomOptions{
+		NB: 180, BlocksPerRow: 9, Bandwidth: 14, NoWrap: true,
+		UniqueBlocks: 12, Seed: 77,
+	})
+	for name, a := range mats {
+		plain := NewSymUnchecked(a)
+		plain.SetTileCols(-1)
+		comp := NewSymUnchecked(a)
+		st := comp.Compress()
+		if st.Unique > st.Blocks {
+			t.Fatalf("%s: pool larger than block count", name)
+		}
+		if name == "repeated" && st.Ratio > 0.35 {
+			t.Fatalf("%s: dedup ratio %.3f, want heavy sharing from a 12-block pool", name, st.Ratio)
+		}
+		for _, threads := range []int{1, 3, 8} {
+			plain.SetThreads(threads)
+			comp.SetThreads(threads)
+			for _, m := range []int{1, 2, 3, 4, 8, 16, 32} {
+				x := randomMulti(a.N(), m, uint64(m)*5741+uint64(threads))
+				ref := mulBits(plain, x)
+				for _, tw := range []int{-1, 2, 4, 16} {
+					comp.SetTileCols(tw)
+					got := mulBits(comp, x)
+					for i := range got {
+						if got[i] != ref[i] {
+							t.Fatalf("%s threads=%d m=%d tile=%d: compressed Mul not bitwise-identical at %d",
+								name, threads, m, tw, i)
+						}
+					}
+				}
+				comp.SetTileCols(0)
+			}
+		}
+	}
+}
+
+// TestCompressExactDecode verifies the compression invariant directly:
+// every stored block reconstructs bit-for-bit from its pool entry and
+// orientation, including repeated blocks inserted under all four
+// orientations.
+func TestCompressExactDecode(t *testing.T) {
+	a := Random(RandomOptions{
+		NB: 120, BlocksPerRow: 8, Bandwidth: 10, NoWrap: true,
+		UniqueBlocks: 7, Seed: 5,
+	})
+	s := NewSymUnchecked(a)
+	orig := make([]float64, len(s.vals))
+	copy(orig, s.vals)
+	st := s.Compress()
+	if !s.Compressed() {
+		t.Fatal("Compress did not mark the matrix compressed")
+	}
+	if st.BytesAfter >= st.BytesBefore {
+		t.Fatalf("compression grew a repeated-block matrix: %d -> %d", st.BytesBefore, st.BytesAfter)
+	}
+	for k := 0; k < s.NNZB(); k++ {
+		ref := s.refs[k]
+		id, o := int(ref>>2), ref&3
+		var p [BlockSize]float64
+		copy(p[:], s.pool[id*BlockSize:(id+1)*BlockSize])
+		dec := orientBlock(&p, o)
+		for q := range dec {
+			if math.Float64bits(dec[q]) != math.Float64bits(orig[k*BlockSize+q]) {
+				t.Fatalf("block %d entry %d: decode not bit-exact", k, q)
+			}
+		}
+	}
+	// Idempotence: a second Compress is a no-op.
+	again := s.Compress()
+	if again.Unique != st.Unique || again.Blocks != st.Blocks {
+		t.Fatalf("Compress not idempotent: %+v vs %+v", again, st)
+	}
+}
+
+// TestOrientBlockInvolutions pins the algebra Compress relies on:
+// every orientation is a self-inverse bit-exact map, including on
+// signed zeros.
+func TestOrientBlockInvolutions(t *testing.T) {
+	b := [BlockSize]float64{0, math.Copysign(0, -1), 1.5, -2.25, 3, -0.125, 7, 11, -13}
+	for o := uint32(0); o < 4; o++ {
+		rt := orientBlock(&b, o)
+		back := orientBlock(&rt, o)
+		for q := range b {
+			if math.Float64bits(back[q]) != math.Float64bits(b[q]) {
+				t.Fatalf("orientation %d not an involution at entry %d", o, q)
+			}
+		}
+	}
+}
+
+// TestRandomUniqueBlocks checks the repeated-block generator: the
+// matrix stays symmetric (NewSym accepts it) and its dedup ratio
+// reflects the pool size, with the diagonal blocks (distinct by
+// construction) the only additions.
+func TestRandomUniqueBlocks(t *testing.T) {
+	a := Random(RandomOptions{
+		NB: 300, BlocksPerRow: 10, Bandwidth: 16, NoWrap: true,
+		UniqueBlocks: 9, Seed: 123,
+	})
+	s, err := NewSym(a)
+	if err != nil {
+		t.Fatalf("UniqueBlocks matrix not symmetric: %v", err)
+	}
+	st := s.Compress()
+	// Pool <= 9 shared off-diagonal canonicals (transpose pairs can
+	// merge) + up to NB distinct diagonals.
+	if st.Unique > 9+a.NB() {
+		t.Fatalf("unique blocks %d exceed pool+diagonal bound %d", st.Unique, 9+a.NB())
+	}
+	if st.Ratio >= 0.5 {
+		t.Fatalf("dedup ratio %.3f, want < 0.5 for a 9-block pool", st.Ratio)
+	}
+}
+
+// TestPlanTileCols pins the automatic policy's shape: no tiling below
+// m=8 or when the window fits; the widest fitting tile from {16,8,4}
+// when the economics gate passes (matrix re-stream cheaper than the
+// modeled window-excess refetches); a decline when the payload dwarfs
+// the excess or nothing fits; overrides win.
+func TestPlanTileCols(t *testing.T) {
+	// Sparse wide-band matrix: tiny payload, huge scatter window —
+	// the regime tiling is for.
+	a := Random(RandomOptions{NB: 2000, BlocksPerRow: 4, Bandwidth: 1500, NoWrap: true, Seed: 9})
+	s := NewSymUnchecked(a)
+	if s.Span() <= 0 {
+		t.Fatal("span not computed")
+	}
+	perCol := s.WorkingSetBytes(1)
+	// Budget fits exactly 8 columns: m=8 single pass, m=16/32 tile at 8
+	// (16 never fits an 8-column budget).
+	s.SetCacheBytes(8 * perCol)
+	for m, want := range map[int]int{1: 0, 2: 0, 4: 0, 8: 0, 16: 8, 32: 8} {
+		if got := s.PlanTileCols(m); got != want {
+			t.Fatalf("cache=8cols m=%d: plan %d, want %d", m, got, want)
+		}
+	}
+	// Budget below even 4 columns: residency is unreachable, no tiling.
+	s.SetCacheBytes(perCol)
+	if got := s.PlanTileCols(32); got != 0 {
+		t.Fatalf("starved cache m=32: plan %d, want 0 (residency unreachable)", got)
+	}
+	// Overrides: disable and force (force bypasses the economics gate).
+	s.SetCacheBytes(8 * perCol)
+	s.SetTileCols(-1)
+	if got := s.PlanTileCols(32); got != 0 {
+		t.Fatalf("disabled tiling still plans %d", got)
+	}
+	s.SetTileCols(8)
+	if got := s.PlanTileCols(32); got != 8 {
+		t.Fatalf("forced width 8 plans %d", got)
+	}
+	if got := s.PlanTileCols(8); got != 0 {
+		t.Fatalf("forced width >= m should run single-pass, planned %d", got)
+	}
+	s.SetTileCols(0)
+	s.SetCacheBytes(0)
+
+	// Narrow band relative to the matrix (span ~ nb/66): the payload
+	// re-stream dwarfs the window excess — per block row, each extra
+	// pass re-reads ~38·bpr bytes while residency saves at most
+	// ~2·bpr·excess/nb — so the gate declines even though a tile
+	// width fits the budget.
+	d := NewSymUnchecked(Random(RandomOptions{NB: 20000, BlocksPerRow: 8, Bandwidth: 300, NoWrap: true, Seed: 10}))
+	d.SetCacheBytes(8 * d.WorkingSetBytes(1))
+	if got := d.PlanTileCols(32); got != 0 {
+		t.Fatalf("narrow-band matrix m=32: plan %d, want 0 (re-stream exceeds savings)", got)
+	}
+}
+
+// TestSymTiledSIMDBitwiseMatchesGo forces the pure-Go tile kernels and
+// checks the asm tile path (including the 2-wide xmm tail) against
+// them bit for bit.
+func TestSymTiledSIMDBitwiseMatchesGo(t *testing.T) {
+	if symSIMDWidth == 0 {
+		t.Skip("no symmetric SIMD on this host")
+	}
+	a := Random(RandomOptions{NB: 160, BlocksPerRow: 9, Bandwidth: 12, NoWrap: true, Seed: 31})
+	s := NewSymUnchecked(a)
+	s.SetThreads(3)
+	saved := symSIMDWidth
+	defer func() { symSIMDWidth = saved }()
+	for _, m := range []int{2, 4, 6, 8, 16, 32} {
+		x := randomMulti(a.N(), m, uint64(m)*131)
+		for _, tw := range []int{-1, 2, 4, 6, 8, 16} {
+			if tw >= m {
+				continue
+			}
+			s.SetTileCols(tw)
+			symSIMDWidth = saved
+			got := mulBits(s, x)
+			symSIMDWidth = 0
+			want := mulBits(s, x)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("m=%d tile=%d: SIMD tile kernel differs from Go at %d", m, tw, i)
+				}
+			}
+		}
+		s.SetTileCols(0)
+	}
+}
+
+// TestSymTiledDeterministicAcrossPoolSizes re-checks the schedule
+// guarantee under tiling and compression: at fixed SetThreads the
+// result must not depend on how many workers the global pool actually
+// has.
+func TestSymTiledDeterministicAcrossPoolSizes(t *testing.T) {
+	a := Random(RandomOptions{
+		NB: 220, BlocksPerRow: 9, Bandwidth: 15, NoWrap: true,
+		UniqueBlocks: 10, Seed: 55,
+	})
+	s := NewSymUnchecked(a)
+	s.Compress()
+	s.SetTileCols(4)
+	const m = 16
+	x := randomMulti(a.N(), m, 808)
+	s.SetThreads(4)
+	ref := mulBits(s, x)
+	for trial := 0; trial < 3; trial++ {
+		got := mulBits(s, x)
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("trial %d: tiled+compressed Mul not deterministic at %d", trial, i)
+			}
+		}
+	}
+	s.SetTileCols(0)
+}
+
+// FuzzSymTiledBitwise drives the tiled and compressed schedules from
+// fuzzed shape parameters: whatever the matrix, width, tile, and
+// thread count, the result must be bitwise-identical to the untiled
+// plain-storage schedule.
+func FuzzSymTiledBitwise(f *testing.F) {
+	f.Add(uint64(1), uint8(40), uint8(24), uint8(2), uint8(16), uint8(4), true)
+	f.Add(uint64(9), uint8(60), uint8(40), uint8(5), uint8(7), uint8(3), false)
+	f.Add(uint64(3), uint8(10), uint8(16), uint8(1), uint8(32), uint8(8), true)
+	f.Fuzz(func(t *testing.T, seed uint64, nb, bpr, threads, m, tw uint8, compress bool) {
+		a := Random(RandomOptions{
+			NB:           1 + int(nb)%64,
+			BlocksPerRow: 1 + float64(bpr)/8,
+			NoWrap:       seed%2 == 0,
+			UniqueBlocks: int(seed % 5), // 0 = independent blocks
+			Seed:         seed,
+		})
+		mm := 1 + int(m)%32
+		tc := 1 + int(tw)%16
+		ref := NewSymUnchecked(a)
+		ref.SetTileCols(-1)
+		ref.SetThreads(1 + int(threads)%8)
+		s := NewSymUnchecked(a)
+		if compress {
+			s.Compress()
+		}
+		s.SetTileCols(tc)
+		s.SetThreads(1 + int(threads)%8)
+		x := randomMulti(a.N(), mm, seed^0xabcdef)
+		want := mulBits(ref, x)
+		got := mulBits(s, x)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("nb=%d m=%d tile=%d threads=%d compress=%v: not bitwise-identical at %d",
+					a.NB(), mm, tc, 1+int(threads)%8, compress, i)
+			}
+		}
+	})
+}
+
+// BenchmarkSymTiled measures the tiled schedule against single-pass at
+// the widths the serving path uses.
+func BenchmarkSymTiled(b *testing.B) {
+	a := Random(RandomOptions{NB: 4000, BlocksPerRow: 12, Bandwidth: 250, NoWrap: true, Seed: 2})
+	s := NewSymUnchecked(a)
+	for _, m := range []int{16, 32} {
+		x := randomMulti(a.N(), m, 7)
+		y := multivec.New(a.N(), m)
+		for _, tw := range []int{-1, 4, 8, 16} {
+			if tw >= m {
+				continue
+			}
+			name := fmt.Sprintf("m=%d/tile=%d", m, tw)
+			b.Run(name, func(b *testing.B) {
+				s.SetTileCols(tw)
+				defer s.SetTileCols(0)
+				b.SetBytes(s.TrafficBytes(m))
+				for i := 0; i < b.N; i++ {
+					s.Mul(y, x)
+				}
+			})
+		}
+	}
+}

@@ -97,6 +97,13 @@ type GSPMV struct {
 	Machine Machine
 	Shape   Shape
 	K       KFunc
+	// KSym, when set, replaces K for the symmetric-kernel bounds.
+	// The symmetric kernel's cache window is wider than the general
+	// kernel's — its transposed scatter read-modify-writes a
+	// span-wide window of Y on top of the X gathers — so under a
+	// capacity model (CapacityK) it overflows at roughly half the
+	// vector count and deserves its own k.
+	KSym KFunc
 }
 
 // k returns k(m), defaulting to DefaultK when unset.
@@ -105,6 +112,14 @@ func (g GSPMV) k(m int) float64 {
 		return DefaultK(m)
 	}
 	return g.K(m)
+}
+
+// kSym returns the symmetric kernel's k(m), defaulting to k.
+func (g GSPMV) kSym(m int) float64 {
+	if g.KSym == nil {
+		return g.k(m)
+	}
+	return g.KSym(m)
 }
 
 // TrafficBytes returns Mtr(m): the bytes moved by one multiply with m

@@ -120,6 +120,10 @@ type Info struct {
 	// Symmetric reports a half-storage (bcrs.SymMatrix) operator:
 	// every batched GSPMV moves half the matrix bytes.
 	Symmetric bool `json:"symmetric"`
+	// DedupRatio is the compressed operator's unique-to-stored block
+	// ratio (0: plain storage) — the matrix-payload fraction each
+	// batched GSPMV streams after repeated-block compression.
+	DedupRatio float64 `json:"dedup_ratio,omitempty"`
 	// MaxEnsemble is the widest /v1/ensemble accepted (== MaxBatch);
 	// DefaultEnsemble the member count used when a request names none.
 	MaxEnsemble     int `json:"max_ensemble"`
@@ -353,6 +357,7 @@ func Handler(e *Engine) http.Handler {
 			Tol:        cfg.Tol,
 			HasModel:        cfg.Model != nil,
 			Symmetric:       e.Symmetric(),
+			DedupRatio:      e.DedupRatio(),
 			MaxEnsemble:     cfg.MaxBatch,
 			DefaultEnsemble: cfg.DefaultEnsemble,
 		})
