@@ -2,10 +2,10 @@ GO ?= go
 
 # The perf artifacts the regression gate watches, and where their
 # committed (HEAD) versions are staged for comparison.
-BENCH_FILES ?= BENCH_serve.json BENCH_symm.json BENCH_parallel.json BENCH_ensemble.json
+BENCH_FILES ?= BENCH_serve.json BENCH_symm.json BENCH_parallel.json BENCH_ensemble.json BENCH_shard.json
 BENCH_BASELINE_DIR ?= .bench-baseline
 
-.PHONY: ci docs-gate vet build test race race-kernels chaos serial serve-smoke bench bench-snapshot bench-scaling bench-serve bench-symm bench-ensemble bench-diff
+.PHONY: ci docs-gate vet build test race race-kernels chaos serial serve-smoke shard-smoke bench bench-snapshot bench-scaling bench-serve bench-symm bench-ensemble bench-shard bench-diff
 
 # ci is the gate: vet, build everything, the full test suite under
 # the race detector (the obs hot paths are lock-free and the worker
@@ -16,7 +16,7 @@ BENCH_BASELINE_DIR ?= .bench-baseline
 # nothing depends on real parallelism, and the advisory perf-
 # regression gate over the BENCH_*.json artifacts (fails only on >2x
 # regressions; warns otherwise; skips files with no baseline).
-ci: vet build docs-gate race-kernels race chaos serve-smoke serial bench-diff
+ci: vet build docs-gate race-kernels race chaos serve-smoke shard-smoke serial bench-diff
 
 # docs-gate fails when an internal/ package lacks a package comment or
 # a tracked markdown file has a broken relative link — documentation
@@ -45,13 +45,13 @@ race:
 # concurrently with solving. Short mode keeps it seconds-cheap so the
 # full -race suite only runs once this passes.
 race-kernels:
-	$(GO) test -race -short ./internal/bcrs/ ./internal/parallel/ ./internal/serve/ ./internal/obs/
+	$(GO) test -race -short ./internal/bcrs/ ./internal/parallel/ ./internal/serve/ ./internal/shard/ ./internal/obs/
 
 # chaos runs the fault-injection and recovery tests — seeded chaos
 # runs must reproduce clean-run trajectories bitwise — under -race,
 # since the faulty transport is the most concurrent code in the tree.
 chaos:
-	$(GO) test -race -run 'Chaos|Recovery|Fault|Fallback|Backoff' ./internal/cluster/... ./internal/core/ ./internal/sd/ ./internal/solver/
+	$(GO) test -race -run 'Chaos|Recovery|Fault|Fallback|Backoff|Crash|Degrad' ./internal/cluster/... ./internal/core/ ./internal/sd/ ./internal/solver/ ./internal/shard/
 
 # serial runs the full suite pinned to one OS thread: the worker pool
 # must produce identical results (and never deadlock) when the runtime
@@ -76,6 +76,14 @@ bench-snapshot: bench-scaling
 # equivalence test is the serving layer's core guarantee.
 serve-smoke:
 	$(GO) test -race -run 'TestServe' ./internal/serve/
+
+# shard-smoke runs the sharded-serve suite under -race: the fleet's
+# split/halo/gather determinism (1-shard bitwise identity with the
+# plain engine, multi-shard bitwise stability), crash-shrink recovery,
+# and the HTTP surface over a sharded engine (topology in /v1/info,
+# degraded /healthz, per-shard trace spans, ID echo on rejections).
+shard-smoke:
+	$(GO) test -race -run 'TestFleet|TestShard|TestServeShard' ./internal/shard/ ./internal/serve/
 
 # bench-diff is the advisory perf-regression gate: stage the
 # committed (HEAD) BENCH_*.json artifacts as baselines, then grade
@@ -110,6 +118,17 @@ bench-serve:
 bench-ensemble:
 	$(GO) run ./cmd/serve-bench -ensemble 1,4,8,16 -load 0.5,1,1.5 -json $(CURDIR)/BENCH_ensemble.json
 	-$(MAKE) bench-diff BENCH_FILES=BENCH_ensemble.json
+
+# bench-shard sweeps the serve-tier shard counts over the rate sweep
+# and writes BENCH_shard.json: per-shard-count throughput and latency
+# against the same m=1 baseline, the strip layout (owned/halo rows,
+# per-strip dedup ratio), "shard_speedup" (largest count over 1
+# shard; reads against "cores" — a single-core host measures routing
+# overhead, not scaling), and the shard-kill chaos pass, which must
+# complete every solve on the shrunk fleet ("completed_degraded").
+bench-shard:
+	$(GO) run ./cmd/serve-bench -nb 3000 -load 0.5,2,8 -shards 1,2,4 -json $(CURDIR)/BENCH_shard.json
+	-$(MAKE) bench-diff BENCH_FILES=BENCH_shard.json
 
 # bench-symm races the parallel half-storage symmetric GSPMV against
 # the general kernels at equal thread counts on a banded (RCM-like,

@@ -62,6 +62,16 @@ var directions = map[string]Direction{
 	"total_seconds":    lowerBetter,
 	"per_step_seconds": lowerBetter,
 	"efficiency":       higherBetter,
+
+	// BENCH_shard.json: the headline scaling ratio is graded; the
+	// strip layout (block_rows/halo_rows, per-strip dedup_ratio above)
+	// and the chaos pass's counts describe topology and outcome, not
+	// performance.
+	"shard_speedup": higherBetter,
+	"block_rows":    ignored,
+	"halo_rows":     ignored,
+	"tombstoned":    ignored,
+	"shards_live":   ignored,
 }
 
 // Flatten walks a decoded JSON value and collects every numeric leaf

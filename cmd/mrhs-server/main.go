@@ -9,6 +9,8 @@
 //
 //	mrhs-server -addr :8707 -matrix random -nb 2000 -bpr 6
 //	mrhs-server -matrix sd -n 500 -phi 0.30 -mode fused
+//	mrhs-server -shards 4 -threads 4           # RCB shard engines, threads split across shards
+//	mrhs-server -shards 4 -shard-faults chaos  # chaos-inject the halo transport
 //	curl -s localhost:8707/v1/solve -d '{"seed":1,"omit_x":true}'
 //	curl -s localhost:8707/v1/ensemble -d '{"members":8,"seed":1,"omit_x":true}'
 //
@@ -26,6 +28,8 @@ import (
 	"time"
 
 	"repro/internal/bcrs"
+	"repro/internal/blas"
+	"repro/internal/cluster/faults"
 	"repro/internal/hydro"
 	"repro/internal/model"
 	"repro/internal/obs"
@@ -34,6 +38,7 @@ import (
 	"repro/internal/perf"
 	"repro/internal/sd"
 	"repro/internal/serve"
+	"repro/internal/shard"
 	"repro/internal/solver"
 )
 
@@ -48,7 +53,11 @@ func main() {
 		np     = flag.Int("n", 500, "sd: particle count")
 		phi    = flag.Float64("phi", 0.30, "sd: volume occupancy")
 
-		threads    = flag.Int("threads", 1, "kernel threads")
+		threads    = flag.Int("threads", 1, "host kernel-thread budget (split evenly across shards when -shards > 0)")
+		shards     = flag.Int("shards", 0, "partition the operator into this many RCB shard engines (0: unsharded; incompatible with -symmetric)")
+		shardFault = flag.String("shard-faults", "", "fault spec armed on the shard halo transport (e.g. \"chaos\" or \"drop:rate=0.05\")")
+		shardSeed  = flag.Uint64("shard-fault-seed", 1, "seed for the shard fault injector")
+		shardPol   = flag.String("shard-policy", "shrink", "shard crash policy: shrink (re-partition over survivors) or restart (rebuild the same partition)")
 		symmetric  = flag.Bool("symmetric", false, "serve through half-storage symmetric GSPMV (halves matrix traffic)")
 		dedup      = flag.Bool("dedup", false, "compress the symmetric operator's repeated blocks (requires -symmetric; bit-exact)")
 		mode       = flag.String("mode", "fused", "batch solver: fused (bitwise-identical) or block")
@@ -70,6 +79,7 @@ func main() {
 	parallel.SetThreads(*threads)
 
 	var a *bcrs.Matrix
+	var pos []blas.Vec3 // spatial embedding for RCB sharding, when one exists
 	switch *matrix {
 	case "random":
 		a = bcrs.Random(bcrs.RandomOptions{NB: *nb, BlocksPerRow: *bpr, Seed: *mseed})
@@ -79,6 +89,7 @@ func main() {
 			fail(err)
 		}
 		a = sd.NewConf(sys, hydro.Options{}, *threads).Build()
+		pos = sys.Pos
 	default:
 		fail(fmt.Errorf("unknown -matrix %q (want random or sd)", *matrix))
 	}
@@ -113,6 +124,39 @@ func main() {
 		WaitFactor:      *waitFactor,
 		TraceSample:     *traceSample,
 		DefaultEnsemble: *ensemble,
+	}
+	if *shards > 0 {
+		if *symmetric {
+			fail(fmt.Errorf("-shards is incompatible with -symmetric (shard strips re-slice plain block storage)"))
+		}
+		if *shards > a.NB() {
+			fail(fmt.Errorf("-shards %d exceeds the %d block rows", *shards, a.NB()))
+		}
+		cfg.Shards = *shards
+		cfg.ShardOpts = shard.Options{
+			Pos:     pos, // nil for random matrices: RCB falls back to nnz-balanced strips
+			Threads: *threads,
+			Policy:  shard.Policy(*shardPol),
+		}
+		if cfg.ShardOpts.Policy != shard.PolicyShrink && cfg.ShardOpts.Policy != shard.PolicyRestart {
+			fail(fmt.Errorf("unknown -shard-policy %q (want shrink or restart)", *shardPol))
+		}
+		if *shardFault != "" {
+			spec := *shardFault
+			if spec == "chaos" {
+				spec = faults.ChaosSpec
+			}
+			plan, err := faults.Parse(spec)
+			if err != nil {
+				fail(err)
+			}
+			cfg.ShardOpts.Faults = plan.NewInjector(*shardSeed)
+			fmt.Printf("shard faults: %s (seed %d)\n", plan, *shardSeed)
+		}
+		fmt.Printf("shards: %d engines, policy %s, threads %d split across shards\n",
+			*shards, cfg.ShardOpts.Policy, *threads)
+	} else if *shardFault != "" || *shardPol != "shrink" {
+		fail(fmt.Errorf("-shard-faults/-shard-policy require -shards > 0"))
 	}
 	if *useModel {
 		mc := perf.CalibratedMachine()

@@ -13,6 +13,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/multivec"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/partition"
 )
 
@@ -213,15 +214,20 @@ func (nd *node) nnzb() int {
 // P returns the node count.
 func (c *Cluster) P() int { return c.p }
 
-// SetThreads sets the kernel thread count of every node's local
-// matrices. Node goroutines dispatch their row-strip multiplies
-// through the shared worker pool, so this controls how much intra-node
-// parallelism each strip exposes on top of the node-level concurrency.
+// SetThreads divides a host-wide kernel-thread budget across the
+// cluster's nodes: each node's local matrices get
+// parallel.ShardBudget(t, p) threads, so p concurrently-running node
+// goroutines never oversubscribe the shared worker pool (p nodes each
+// running the full budget would contend for the same cores). t is the
+// total budget, not a per-node count — the same convention the shard
+// fleet and sd.DistOptions.Threads use, so one -threads flag bounds
+// the whole process no matter how the operator is split.
 func (c *Cluster) SetThreads(t int) {
+	per := parallel.ShardBudget(t, c.p)
 	for _, nd := range c.nodes {
-		nd.interior.SetThreads(t)
+		nd.interior.SetThreads(per)
 		if nd.boundary != nil {
-			nd.boundary.SetThreads(t)
+			nd.boundary.SetThreads(per)
 		}
 	}
 }

@@ -18,7 +18,9 @@ import (
 // the wire — retransmissions, rejected checksums, discarded
 // duplicates, expired deadlines, and node crashes. Together with the
 // injector's faults_injected_total these form the two sides of the
-// chaos ledger (injected vs detected/handled).
+// chaos ledger (injected vs detected/handled). The counters are
+// shared with every Transport user (the shard fleet included): they
+// describe the wire, not one consumer of it.
 var (
 	haloRetries         = obs.Default.Counter("cluster_halo_retries_total")
 	haloTimeouts        = obs.Default.Counter("cluster_halo_timeouts_total")
@@ -28,134 +30,20 @@ var (
 	haloLost            = obs.Default.Counter("cluster_halo_lost_total")
 )
 
-// packet is one simulated wire message: a packed halo payload (or a
-// reduction partial) plus the integrity metadata the receiver
-// validates. A tombstone announces the sender crashed, letting
-// receivers fail fast instead of waiting out their deadline.
-type packet struct {
-	seq  int64
-	data []float64
-	crc  uint64
-	tomb bool
-}
-
-// checksum is FNV-1a over the float64 bit patterns; it is what lets a
-// receiver reject a corrupted payload and wait for the retransmit.
-func checksum(data []float64) uint64 {
-	h := uint64(1469598103934665603)
-	for _, v := range data {
-		b := math.Float64bits(v)
-		for s := 0; s < 64; s += 8 {
-			h ^= (b >> s) & 0xFF
-			h *= 1099511628211
-		}
-	}
-	return h
-}
-
-// corruptCopy returns a copy of data with one bit flipped, keeping
-// the original intact for the retransmit.
-func corruptCopy(data []float64) []float64 {
-	bad := append([]float64(nil), data...)
-	if len(bad) > 0 {
-		bad[0] = math.Float64frombits(math.Float64bits(bad[0]) ^ 1<<17)
-	}
-	return bad
-}
-
 // SetFaults arms the cluster's transport with a fault injector and a
 // retry policy. With a nil injector the multiply keeps its lean
 // healthy path; with one armed, every halo message flows through the
-// checksummed retry transport below. Call before the first multiply;
-// the injector may be shared across clusters (its crash rules are
-// consumed globally).
+// checksummed retry transport (Transport). Call before the first
+// multiply; the injector may be shared across clusters (its crash
+// rules are consumed globally).
 func (c *Cluster) SetFaults(inj *faults.Injector, b Backoff) {
 	c.inj = inj
 	c.retry = b.WithDefaults()
 }
 
-// sendWithRetry delivers one message, consulting the injector per
-// attempt: drops and corruptions are retried after an exponential
-// backoff (the sleep stands in for the ack timeout a real transport
-// would pay), delays sleep before delivering, duplicates deliver
-// twice. It gives up — returning a *faults.Error — only after
-// MaxAttempts consecutive sabotaged attempts.
-func (c *Cluster) sendWithRetry(ch chan<- packet, src, dst int, seq int64, data []float64) error {
-	good := packet{seq: seq, data: data, crc: checksum(data)}
-	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
-		if attempt > 0 {
-			haloRetries.Inc()
-			time.Sleep(c.retry.Wait(seq, attempt))
-		}
-		v, d := c.inj.Message(src, dst, seq, attempt)
-		switch v {
-		case faults.VDrop:
-			continue // lost on the wire; retransmit after backoff
-		case faults.VCorrupt:
-			ch <- packet{seq: seq, data: corruptCopy(data), crc: good.crc}
-			continue // receiver rejects the checksum; retransmit
-		case faults.VDelay:
-			time.Sleep(d)
-			ch <- good
-			return nil
-		case faults.VDuplicate:
-			ch <- good
-			ch <- good
-			return nil
-		default:
-			ch <- good
-			return nil
-		}
-	}
-	haloLost.Inc()
-	return &faults.Error{
-		Kind: faults.Drop, Node: src, Src: src, Dst: dst, Seq: seq,
-		Msg: fmt.Sprintf("message %d->%d (seq %d) lost after %d attempts", src, dst, seq, c.retry.MaxAttempts),
-	}
-}
-
-// recvWithDeadline blocks for one valid message on ch: it discards
-// packets with a bad checksum or wrong length (counting them as
-// detected corruption) and keeps waiting for the retransmit. On a
-// tombstone it reports the peer's crash; past the deadline it reports
-// a timeout. After accepting, buffered same-seq duplicates are
-// drained and counted.
-func (c *Cluster) recvWithDeadline(ch <-chan packet, node, src int, seq int64, want int) ([]float64, error) {
-	timer := time.NewTimer(c.retry.Deadline)
-	defer timer.Stop()
-	for {
-		select {
-		case p := <-ch:
-			if p.tomb {
-				return nil, &faults.Error{
-					Kind: faults.Crash, Node: src, Src: src, Dst: node, Seq: seq,
-					Msg: fmt.Sprintf("node %d crashed before completing multiply %d", src, seq),
-				}
-			}
-			if p.seq != seq || len(p.data) != want || checksum(p.data) != p.crc {
-				haloCorruptRejected.Inc()
-				continue // damaged or stale; the sender retransmits
-			}
-			// Accepted. Drain any buffered duplicate of this message.
-			for {
-				select {
-				case q := <-ch:
-					if !q.tomb && q.seq == seq {
-						haloDupDiscarded.Inc()
-					}
-				default:
-					return p.data, nil
-				}
-			}
-		case <-timer.C:
-			haloTimeouts.Inc()
-			return nil, &faults.Error{
-				Kind: faults.Timeout, Node: node, Src: src, Dst: node, Seq: seq,
-				Msg: fmt.Sprintf("node %d: halo receive from node %d (seq %d) timed out after %v", node, src, seq, c.retry.Deadline),
-			}
-		}
-	}
-}
+// transport bundles the cluster's injector and retry policy into the
+// shared wire layer.
+func (c *Cluster) transport() Transport { return Transport{Inj: c.inj, Retry: c.retry} }
 
 // mulFaulty is the fault-tolerant twin of the healthy multiply: the
 // same owned-gather / post-sends / interior / receive-halo / boundary
@@ -165,15 +53,16 @@ func (c *Cluster) recvWithDeadline(ch <-chan packet, node, src int, seq int64, w
 func (c *Cluster) mulFaulty(y, x *multivec.MultiVec) error {
 	m := x.M
 	seq := c.mulSeq.Add(1)
+	tp := c.transport()
 
 	// chans[src][dst] carries packets; capacity covers the worst case
 	// of one packet per delivery attempt plus a tombstone, so senders
 	// never block.
-	chans := make([][]chan packet, c.p)
+	chans := make([][]chan Packet, c.p)
 	for s := range chans {
-		chans[s] = make([]chan packet, c.p)
+		chans[s] = make([]chan Packet, c.p)
 		for d := range chans[s] {
-			chans[s][d] = make(chan packet, 2*c.retry.MaxAttempts+2)
+			chans[s][d] = make(chan Packet, tp.ChanCap())
 		}
 	}
 
@@ -195,7 +84,7 @@ func (c *Cluster) mulFaulty(y, x *multivec.MultiVec) error {
 				// out their receive deadline.
 				for dst, rows := range nd.sendTo {
 					if len(rows) > 0 {
-						chans[nd.id][dst] <- packet{seq: seq, tomb: true}
+						tp.SendTomb(chans[nd.id][dst], seq)
 					}
 				}
 				errs[nd.id] = &faults.Error{
@@ -222,7 +111,7 @@ func (c *Cluster) mulFaulty(y, x *multivec.MultiVec) error {
 					copy(buf[bi*rowsPerBlock:(bi+1)*rowsPerBlock],
 						xOwn.Data[l*rowsPerBlock:(l+1)*rowsPerBlock])
 				}
-				if err := c.sendWithRetry(chans[nd.id][dst], nd.id, dst, seq, buf); err != nil && errs[nd.id] == nil {
+				if err := tp.Send(chans[nd.id][dst], nd.id, dst, seq, buf); err != nil && errs[nd.id] == nil {
 					errs[nd.id] = err
 					// Keep going: peers still need our other messages.
 				}
@@ -241,7 +130,7 @@ func (c *Cluster) mulFaulty(y, x *multivec.MultiVec) error {
 						continue
 					}
 					want := (r[1] - r[0]) * rowsPerBlock
-					buf, err := c.recvWithDeadline(chans[src][nd.id], nd.id, src, seq, want)
+					buf, err := tp.Recv(chans[src][nd.id], nd.id, src, seq, want)
 					if err != nil {
 						if errs[nd.id] == nil {
 							errs[nd.id] = err
@@ -286,11 +175,12 @@ func (c *Cluster) reduce(perNode []float64, combine func(a, b float64) float64) 
 		c.retry = c.retry.WithDefaults()
 	}
 	seq := reduceSeqBase + c.redSeq.Add(1)
+	tp := c.transport()
 
 	// chans[src] carries src's single partial to its parent.
-	chans := make([]chan packet, c.p)
+	chans := make([]chan Packet, c.p)
 	for i := range chans {
-		chans[i] = make(chan packet, 2*c.retry.MaxAttempts+2)
+		chans[i] = make(chan Packet, tp.ChanCap())
 	}
 	errs := make([]error, c.p)
 	var result float64
@@ -303,14 +193,14 @@ func (c *Cluster) reduce(perNode []float64, combine func(a, b float64) float64) 
 			for stride := 1; stride < c.p; stride *= 2 {
 				switch {
 				case id%(2*stride) == 0 && id+stride < c.p:
-					buf, err := c.recvWithDeadline(chans[id+stride], id, id+stride, seq, 1)
+					buf, err := tp.Recv(chans[id+stride], id, id+stride, seq, 1)
 					if err != nil {
 						errs[id] = err
 						return
 					}
 					v = combine(v, buf[0])
 				case id%(2*stride) == stride:
-					errs[id] = c.sendWithRetry(chans[id], id, id-stride, seq, []float64{v})
+					errs[id] = tp.Send(chans[id], id, id-stride, seq, []float64{v})
 					return
 				}
 			}

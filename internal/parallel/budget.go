@@ -1,0 +1,33 @@
+package parallel
+
+// ShardBudget splits a host-wide kernel-thread budget across p
+// goroutine-isolated shards (or simulated cluster nodes) running
+// concurrently on this process's worker pool.
+//
+// The split policy is deliberately simple: each shard gets an equal
+// integer share, never less than one. total/p threads per shard keeps
+// p concurrent row-strip multiplies from oversubscribing the pool —
+// N shards each running the full budget would contend for the same
+// cores and serialize anyway, paying scheduling overhead for nothing.
+// The remainder threads (total mod p) are left unassigned rather than
+// handed to a lucky shard: a deterministic, shard-id-independent share
+// is what keeps fixed-thread-count runs bitwise-reproducible no matter
+// which shard a row lands on.
+//
+// Shard-level concurrency itself comes from the per-shard goroutines;
+// ShardBudget only governs the intra-shard kernel parallelism layered
+// on top. With total <= p each shard runs its strip serially and the
+// shard goroutines supply all the parallelism.
+func ShardBudget(total, p int) int {
+	if p < 1 {
+		p = 1
+	}
+	if total < 1 {
+		total = 1
+	}
+	b := total / p
+	if b < 1 {
+		b = 1
+	}
+	return b
+}

@@ -245,3 +245,28 @@ func TestRCBMorePartsThanRows(t *testing.T) {
 		}
 	}
 }
+
+func TestRCBNilPositionsFallsBackToStrips(t *testing.T) {
+	a, _ := localMatrix(26, 180, 11, 2)
+	r := RCB(a, nil, 4)
+	checkCovers(t, r, a.NB(), 4)
+	// Index coordinates make the bisection a contiguous-strip cut:
+	// partition labels must be non-decreasing in row order.
+	for i := 1; i < a.NB(); i++ {
+		if r.Part[i] < r.Part[i-1] {
+			t.Fatalf("fallback partition not contiguous at row %d: %d after %d",
+				i, r.Part[i], r.Part[i-1])
+		}
+	}
+	// And it stays nnz-balanced, the property the median split buys.
+	if imb := r.Imbalance(); imb > 1.8 {
+		t.Fatalf("fallback imbalance %v", imb)
+	}
+	// A wrong-length embedding is still a programming error.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched positions did not panic")
+		}
+	}()
+	RCB(a, make([]blas.Vec3, 3), 2)
+}

@@ -15,9 +15,21 @@ import (
 // smaller — the property that matters for the communication fractions
 // of Table III, since a node's comm cost scales with the surface of
 // its region while its compute scales with the volume.
+//
+// A nil pos selects the index-coordinate fallback: every block row is
+// placed at its own row index on one axis, so the bisection degenerates
+// to nnz-balanced contiguous row strips. That is the right default for
+// operators with no spatial embedding (synthetic serve matrices, whose
+// random sparsity has no geometry to exploit) while keeping the
+// nnz-weighted load balance. Positions of any other length still
+// panic: a mismatched embedding is a programming error, not a request
+// for the fallback.
 func RCB(a *bcrs.Matrix, pos []blas.Vec3, p int) *Result {
 	if p < 1 {
 		panic("partition: p must be >= 1")
+	}
+	if pos == nil {
+		pos = indexPositions(a.NB())
 	}
 	if len(pos) != a.NB() {
 		panic("partition: positions do not match block rows")
@@ -67,6 +79,16 @@ func RCB(a *bcrs.Matrix, pos []blas.Vec3, p int) *Result {
 	}
 	recurse(idx, 0, p)
 	return res
+}
+
+// indexPositions synthesizes 1D coordinates from row indices for
+// operators with no spatial embedding (see RCB's nil-pos fallback).
+func indexPositions(nb int) []blas.Vec3 {
+	pos := make([]blas.Vec3, nb)
+	for i := range pos {
+		pos[i][0] = float64(i)
+	}
+	return pos
 }
 
 // widestAxis returns the coordinate axis with the largest extent over

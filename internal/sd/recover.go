@@ -18,9 +18,12 @@ import (
 type DistOptions struct {
 	// P is the simulated node count.
 	P int
-	// Threads is the worker-pool size shared by all layers of the
-	// step (0 or 1 means serial). Each per-step cluster's node
-	// matrices are set to the same count.
+	// Threads is the host-wide worker-pool budget shared by all
+	// layers of the step (0 or 1 means serial). It is a single shared
+	// budget, not a per-node count: each per-step cluster splits it
+	// across its P nodes (parallel.ShardBudget, floor(Threads/P) per
+	// node, minimum 1), so P concurrent node goroutines never
+	// oversubscribe the pool.
 	Threads int
 	// Faults, if non-nil, arms every per-step cluster with this
 	// injector; the injector is shared across clusters, so once-only

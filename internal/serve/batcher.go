@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/multivec"
@@ -15,7 +16,15 @@ import (
 // kernels, so serializing dispatches keeps the machine's cores on one
 // GSPMV at a time instead of thrashing between competing solves.
 func (e *Engine) run() {
-	defer close(e.done)
+	defer func() {
+		// The dispatcher is the only goroutine multiplying through the
+		// fleet, so its exit is the safe point to stop the shard
+		// goroutines.
+		if e.fleet != nil {
+			e.fleet.Close()
+		}
+		close(e.done)
+	}()
 	for {
 		// A call pulled by the previous gather that did not fit its
 		// batch (an ensemble would have pushed the width past MaxBatch)
@@ -225,34 +234,28 @@ func (e *Engine) dispatch(batch []*call) {
 		c.tr.SetAttr("batch_size", int64(q))
 		c.tr.SetAttr("kernel_m", int64(kernelM))
 		c.tr.SetAttr("mode", string(e.cfg.Mode))
+		if e.fleet != nil {
+			c.tr.SetAttr("shards", int64(e.fleet.Topology().Shards))
+		}
 		solveSpans = append(solveSpans, c.tr.StartSpan("solve"))
+	}
+	if e.fleet != nil {
+		// Route the batch's shard-side spans (shardN/shard_solve,
+		// shardN/halo_wait) onto the first traced request of the batch:
+		// every multiply of the fused solve is shared batch-wide anyway,
+		// so one trace carrying the per-shard split is representative.
+		var tr *obs.Trace
+		for _, c := range live {
+			if c.tr != nil {
+				tr = c.tr
+				break
+			}
+		}
+		e.fleet.AttachTrace(tr)
 	}
 	var stats []solver.Stats
 	xs := make([][]float64, q)
-	switch e.cfg.Mode {
-	case ModeBlock:
-		stats, xs = e.solveBlock(live, q, kernelM)
-	default:
-		// Batch scratch is dispatcher-owned and reused across batches;
-		// only xs escapes (Result.X) and stays freshly allocated. The
-		// solver workspace makes the steady-state fused path
-		// allocation-free apart from the result vectors.
-		bs := e.bsBuf[:0]
-		opts := e.optsBuf[:0]
-		j := 0
-		for _, c := range live {
-			for _, r := range c.reqs {
-				xs[j] = make([]float64, e.n)
-				bs = append(bs, r.B)
-				opts = append(opts, e.colOptions(c, r))
-				j++
-			}
-		}
-		stats = solver.MultiCGWith(e.ws, e.op, xs, bs, opts)
-		clear(bs)   // drop request references so reuse does not pin them
-		clear(opts) // drop per-request contexts
-		e.bsBuf, e.optsBuf = bs[:0], opts[:0]
-	}
+	e.solveBatch(live, q, kernelM, &stats, xs)
 	elapsed := time.Since(dispatchT0)
 	for _, sp := range solveSpans {
 		sp.End()
@@ -306,6 +309,53 @@ func (e *Engine) dispatch(batch []*call) {
 	// Refine the iteration estimate the cost model multiplies T(m) by.
 	const a = 0.3
 	e.itersEWMA = a*float64(sumIters)/float64(q) + (1-a)*e.itersEWMA
+}
+
+// solveBatch runs the mode-selected solver over one coalesced batch,
+// converting an operator panic — an unrecoverable shard-fleet failure
+// (shard.Fleet.Mul panics once retries and re-sharding are exhausted)
+// — into per-column ErrShardFailure results instead of killing the
+// dispatcher. The engine keeps serving; only the batch in flight is
+// answered 503.
+func (e *Engine) solveBatch(live []*call, q, kernelM int, stats *[]solver.Stats, xs [][]float64) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		shardFailed.Inc()
+		err := fmt.Errorf("%w: %v", ErrShardFailure, r)
+		*stats = make([]solver.Stats, q)
+		for i := range *stats {
+			(*stats)[i] = solver.Stats{Err: err}
+		}
+	}()
+	switch e.cfg.Mode {
+	case ModeBlock:
+		bstats, bxs := e.solveBlock(live, q, kernelM)
+		*stats = bstats
+		copy(xs, bxs)
+	default:
+		// Batch scratch is dispatcher-owned and reused across batches;
+		// only xs escapes (Result.X) and stays freshly allocated. The
+		// solver workspace makes the steady-state fused path
+		// allocation-free apart from the result vectors.
+		bs := e.bsBuf[:0]
+		opts := e.optsBuf[:0]
+		j := 0
+		for _, c := range live {
+			for _, r := range c.reqs {
+				xs[j] = make([]float64, e.n)
+				bs = append(bs, r.B)
+				opts = append(opts, e.colOptions(c, r))
+				j++
+			}
+		}
+		*stats = solver.MultiCGWith(e.ws, e.op, xs, bs, opts)
+		clear(bs)   // drop request references so reuse does not pin them
+		clear(opts) // drop per-request contexts
+		e.bsBuf, e.optsBuf = bs[:0], opts[:0]
+	}
 }
 
 // blockPack returns the dispatcher-owned packed right-hand-side and

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/rng"
+	"repro/internal/shard"
 	"repro/internal/stats"
 )
 
@@ -128,6 +129,11 @@ type Info struct {
 	// DefaultEnsemble the member count used when a request names none.
 	MaxEnsemble     int `json:"max_ensemble"`
 	DefaultEnsemble int `json:"default_ensemble"`
+	// Shard is the live fleet topology when the engine routes solves
+	// across RCB-partitioned shards: live/configured/tombstoned shard
+	// counts, the crash policy, per-shard owned and halo row counts,
+	// and each strip's block dedup ratio. Absent when unsharded.
+	Shard *shard.Topology `json:"shard,omitempty"`
 }
 
 type errorBody struct {
@@ -340,6 +346,17 @@ func Handler(e *Engine) http.Handler {
 			})
 			return
 		}
+		// Health aggregates over the shard fleet: a tombstoned shard
+		// degrades the report (still 200 — the survivors serve) so
+		// orchestrators can alert without pulling the node.
+		if top, ok := e.ShardTopology(); ok && e.ShardDegraded() {
+			writeJSON(w, http.StatusOK, map[string]any{
+				"status": "degraded", "queue_depth": e.QueueDepth(),
+				"shards_live": top.Shards, "shards_configured": top.Configured,
+				"shards_tombstoned": top.Tombstoned,
+			})
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]any{
 			"status": "ok", "queue_depth": e.QueueDepth(),
 		})
@@ -347,7 +364,7 @@ func Handler(e *Engine) http.Handler {
 
 	mux.HandleFunc("/v1/info", func(w http.ResponseWriter, _ *http.Request) {
 		cfg := e.Config()
-		writeJSON(w, http.StatusOK, Info{
+		info := Info{
 			N:          e.N(),
 			Mode:       cfg.Mode,
 			MaxBatch:   cfg.MaxBatch,
@@ -360,7 +377,11 @@ func Handler(e *Engine) http.Handler {
 			DedupRatio:      e.DedupRatio(),
 			MaxEnsemble:     cfg.MaxBatch,
 			DefaultEnsemble: cfg.DefaultEnsemble,
-		})
+		}
+		if top, ok := e.ShardTopology(); ok {
+			info.Shard = &top
+		}
+		writeJSON(w, http.StatusOK, info)
 	})
 
 	mux.Handle("/metrics", obs.Handler(obs.Default))
@@ -462,7 +483,7 @@ func statusOf(err error) int {
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests // 429
-	case errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrShardFailure):
 		return http.StatusServiceUnavailable // 503
 	case errors.Is(err, ErrBadRequest), errors.Is(err, ErrTooWide):
 		return http.StatusBadRequest // 400

@@ -7,9 +7,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bcrs"
 	"repro/internal/model"
 	"repro/internal/multivec"
 	"repro/internal/obs"
+	"repro/internal/shard"
 	"repro/internal/solver"
 )
 
@@ -30,6 +32,10 @@ var (
 	// ErrCanceled mirrors solver.ErrCanceled: the request's context
 	// was canceled or its deadline expired before or during the solve.
 	ErrCanceled = solver.ErrCanceled
+	// ErrShardFailure means the shard fleet lost too many shards to
+	// complete the batch's multiplies; the affected requests are
+	// answered 503 so clients retry against the re-formed fleet.
+	ErrShardFailure = errors.New("serve: shard fleet failed mid-solve")
 )
 
 // Mode selects how a coalesced batch is solved.
@@ -88,6 +94,19 @@ type Config struct {
 	// DefaultEnsemble is the member count /v1/ensemble uses when the
 	// request names neither explicit vectors nor seeds. Default 4.
 	DefaultEnsemble int
+	// Shards, when >= 1, partitions the operator into that many
+	// RCB-owned shard engines (internal/shard) and routes every
+	// batched multiply across them. Requires a plain *bcrs.Matrix
+	// operator (NewEngine panics otherwise — sharding re-slices raw
+	// block storage). Shards=1 exercises the full route/gather path
+	// while staying bitwise-identical to the unsharded engine; 0
+	// leaves the operator untouched.
+	Shards int
+	// ShardOpts carries the fleet's partition/fault/retry/thread
+	// options when Shards >= 1. ShardOpts.Shards is overwritten by
+	// Shards; ShardOpts.Threads is the host-wide kernel thread budget
+	// the fleet splits evenly across shards (parallel.ShardBudget).
+	ShardOpts shard.Options
 }
 
 func (c Config) withDefaults() Config {
@@ -186,9 +205,10 @@ func (c *call) width() int { return len(c.reqs) }
 // dispatcher goroutine running the dynamic batcher, and the arrival /
 // iteration estimators feeding the cost model.
 type Engine struct {
-	op  solver.BlockOperator
-	n   int
-	cfg Config
+	op    solver.BlockOperator
+	fleet *shard.Fleet // non-nil when Config.Shards wrapped the operator; engine-owned
+	n     int
+	cfg   Config
 
 	queue chan *call
 	done  chan struct{}
@@ -218,10 +238,31 @@ type Engine struct {
 
 // NewEngine starts an engine serving solves against op. Close it to
 // drain.
+//
+// With Config.Shards >= 1 the operator must be a plain *bcrs.Matrix;
+// NewEngine partitions it into a shard.Fleet it owns (and closes on
+// drain), so every dispatched solve's multiplies route across the
+// shard engines and gather back bitwise-deterministically.
 func NewEngine(op solver.BlockOperator, cfg Config) *Engine {
 	cfg = cfg.withDefaults()
+	var fleet *shard.Fleet
+	if cfg.Shards >= 1 {
+		a, ok := op.(*bcrs.Matrix)
+		if !ok {
+			panic("serve: Config.Shards requires a plain *bcrs.Matrix operator")
+		}
+		so := cfg.ShardOpts
+		so.Shards = cfg.Shards
+		f, err := shard.New(a, so)
+		if err != nil {
+			panic("serve: " + err.Error())
+		}
+		fleet = f
+		op = f
+	}
 	e := &Engine{
 		op:        op,
+		fleet:     fleet,
 		n:         op.N(),
 		cfg:       cfg,
 		queue:     make(chan *call, cfg.QueueCap),
@@ -262,6 +303,23 @@ func (e *Engine) DedupRatio() float64 {
 
 // Config returns the engine's effective (defaulted) configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// ShardTopology returns the live shard fleet topology and true when
+// the engine is sharded; the zero Topology and false otherwise.
+func (e *Engine) ShardTopology() (shard.Topology, bool) {
+	if e.fleet == nil {
+		return shard.Topology{}, false
+	}
+	return e.fleet.Topology(), true
+}
+
+// ShardDegraded reports whether the engine is sharded and running
+// with fewer live shards than configured (a tombstoned shard under
+// the shrink policy). Solves still complete — over the re-partitioned
+// survivor fleet — but capacity and layout differ from nominal.
+func (e *Engine) ShardDegraded() bool {
+	return e.fleet != nil && e.fleet.Degraded()
+}
 
 // QueueDepth returns the current admission-queue occupancy.
 func (e *Engine) QueueDepth() int { return len(e.queue) }

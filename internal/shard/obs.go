@@ -1,0 +1,37 @@
+package shard
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// Fleet-level observability: multiply traffic, crash handling, and the
+// current topology. Per-shard counters (one family per shard id, see
+// newWorkerObs) live alongside these so a fleet's load split and halo
+// stall profile are readable straight off /metrics.
+var (
+	fleetMuls     = obs.Default.Counter("shard_fleet_muls_total")
+	fleetRetries  = obs.Default.Counter("shard_mul_retries_total")
+	fleetCrashes  = obs.Default.Counter("shard_crashes_total")
+	fleetRebuilds = obs.Default.Counter("shard_rebuilds_total")
+
+	liveShards       = obs.Default.Gauge("shard_live")
+	tombstonedShards = obs.Default.Gauge("shard_tombstoned")
+)
+
+// workerObs is one shard's counter family.
+type workerObs struct {
+	muls         *obs.Counter
+	haloSeconds  *obs.FloatCounter
+	solveSeconds *obs.FloatCounter
+}
+
+func newWorkerObs(id int) workerObs {
+	s := strconv.Itoa(id)
+	return workerObs{
+		muls:         obs.Default.Counter(obs.Label("shard_muls_total", "shard", s)),
+		haloSeconds:  obs.Default.FloatCounter(obs.Label("shard_halo_seconds_total", "shard", s)),
+		solveSeconds: obs.Default.FloatCounter(obs.Label("shard_solve_seconds_total", "shard", s)),
+	}
+}

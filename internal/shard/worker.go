@@ -1,0 +1,297 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bcrs"
+	"repro/internal/blas"
+	"repro/internal/cluster"
+	"repro/internal/cluster/faults"
+	"repro/internal/multivec"
+)
+
+// job is one fleet multiply fanned out to every worker: the shared
+// global operand/result pair plus the per-multiply channel mesh (raw
+// for the healthy path, checksummed packets when faults are armed).
+type job struct {
+	seq  int64
+	x, y *multivec.MultiVec
+
+	raw [][]chan []float64      // healthy transport: chans[src][dst]
+	pk  [][]chan cluster.Packet // faulty transport: chans[src][dst]
+	tp  cluster.Transport
+
+	errs []error // one slot per worker; disjoint writes
+	wg   sync.WaitGroup
+}
+
+// worker is one goroutine-isolated shard engine: its strip matrices,
+// its communication plan, its job queue, and its obs counter family.
+// Only the worker's own goroutine touches its state after build.
+type worker struct {
+	f  *Fleet
+	id int
+
+	owned []int // global block rows owned, ascending
+	halo  []int // halo rows, ordered by (source shard, global row)
+
+	interior *bcrs.Matrix // owned rows x owned cols (local indices)
+	boundary *bcrs.Matrix // owned rows x halo cols; nil if no halo
+
+	// sendTo[dst] lists local owned-row indices to ship to dst;
+	// recvFrom[src] is the half-open halo range [lo, hi) src fills.
+	sendTo   [][]int
+	recvFrom [][2]int
+
+	jobs chan *job
+	muln int64 // multiplies executed (crash schedule input)
+
+	obs                 workerObs
+	spanSolve, spanHalo string
+}
+
+// buildWorkers constructs the per-shard strips and communication plan
+// for one topology — the same scheme as cluster.New, built for
+// persistent shard goroutines. Each strip's kernels get threads
+// threads (the already-split per-shard budget).
+func buildWorkers(f *Fleet, a *bcrs.Matrix, part []int, p, threads int) []*worker {
+	owned := make([][]int, p)
+	for i, pt := range part {
+		if pt < 0 || pt >= p {
+			panic(fmt.Sprintf("shard: row %d assigned to invalid shard %d", i, pt))
+		}
+		owned[pt] = append(owned[pt], i)
+	}
+	// localRow[g] is the owned-row index of global row g on its owner.
+	localRow := make([]int, a.NB())
+	for _, rows := range owned {
+		for l, g := range rows {
+			localRow[g] = l
+		}
+	}
+
+	ws := make([]*worker, p)
+	for id := 0; id < p; id++ {
+		w := &worker{
+			f: f, id: id, owned: owned[id],
+			jobs:      make(chan *job, 1),
+			obs:       newWorkerObs(id),
+			spanSolve: fmt.Sprintf("shard%d/shard_solve", id),
+			spanHalo:  fmt.Sprintf("shard%d/halo_wait", id),
+		}
+
+		// Discover halo rows: remote block columns referenced by any
+		// owned row, grouped by source shard then global row so each
+		// incoming message lands in one contiguous halo range.
+		seen := make(map[int]bool)
+		var halo []int
+		for _, g := range w.owned {
+			lo, hi := a.RowBlocks(g)
+			for k := lo; k < hi; k++ {
+				j := a.BlockCol(k)
+				if part[j] != id && !seen[j] {
+					seen[j] = true
+					halo = append(halo, j)
+				}
+			}
+		}
+		sort.Slice(halo, func(x, y int) bool {
+			if part[halo[x]] != part[halo[y]] {
+				return part[halo[x]] < part[halo[y]]
+			}
+			return halo[x] < halo[y]
+		})
+		w.halo = halo
+
+		haloSlot := make(map[int]int, len(halo))
+		for s, g := range halo {
+			haloSlot[g] = s
+		}
+		w.recvFrom = make([][2]int, p)
+		for s := 0; s < len(halo); {
+			src := part[halo[s]]
+			e := s
+			for e < len(halo) && part[halo[e]] == src {
+				e++
+			}
+			w.recvFrom[src] = [2]int{s, e}
+			s = e
+		}
+
+		// Build interior (owned columns) and boundary (halo columns)
+		// strips.
+		bi := bcrs.NewBuilderRect(len(w.owned), len(w.owned))
+		var bb *bcrs.Builder
+		if len(halo) > 0 {
+			bb = bcrs.NewBuilderRect(len(w.owned), len(halo))
+		}
+		for l, g := range w.owned {
+			lo, hi := a.RowBlocks(g)
+			for k := lo; k < hi; k++ {
+				j := a.BlockCol(k)
+				if part[j] == id {
+					bi.AddBlock(l, localRow[j], a.BlockAt(k))
+				} else {
+					bb.AddBlock(l, haloSlot[j], a.BlockAt(k))
+				}
+			}
+		}
+		w.interior = bi.Build()
+		w.interior.SetThreads(threads)
+		if bb != nil {
+			w.boundary = bb.Build()
+			w.boundary.SetThreads(threads)
+		}
+		ws[id] = w
+	}
+
+	// Build send lists from the halo lists: src ships to dst exactly
+	// the rows in dst's halo that src owns, in dst's halo order.
+	for _, dst := range ws {
+		for src := 0; src < p; src++ {
+			r := dst.recvFrom[src]
+			if r[0] == r[1] {
+				continue
+			}
+			rows := make([]int, 0, r[1]-r[0])
+			for s := r[0]; s < r[1]; s++ {
+				rows = append(rows, localRow[dst.halo[s]])
+			}
+			if ws[src].sendTo == nil {
+				ws[src].sendTo = make([][]int, p)
+			}
+			ws[src].sendTo[dst.id] = rows
+		}
+	}
+	return ws
+}
+
+// loop is the worker goroutine: execute jobs until the fleet closes
+// the queue (drain or topology replacement).
+func (w *worker) loop() {
+	for j := range w.jobs {
+		w.exec(j)
+		j.wg.Done()
+	}
+}
+
+// exec runs this worker's share of one fleet multiply: gather owned
+// rows, post halo sends, interior product overlapping the in-flight
+// messages, receive halo, boundary product, scatter. Phase timings
+// feed the worker's counter family and, when a trace is attached, the
+// per-shard shard_solve / halo_wait spans.
+func (w *worker) exec(j *job) {
+	m := j.x.M
+	rowsPerBlock := bcrs.BlockDim * m
+	w.muln++
+	w.obs.muls.Inc()
+	tr := w.f.trace.Load()
+
+	if j.pk != nil {
+		// Fault-injection preamble: a slow shard stalls, a crashed one
+		// tombstones its peers and reports itself dead.
+		if d := j.tp.Inj.SlowDelay(w.id); d > 0 {
+			time.Sleep(d)
+		}
+		if j.tp.Inj.Crash(w.id, w.muln) {
+			for dst, rows := range w.sendTo {
+				if len(rows) > 0 {
+					j.tp.SendTomb(j.pk[w.id][dst], j.seq)
+				}
+			}
+			j.errs[w.id] = &faults.Error{
+				Kind: faults.Crash, Node: w.id, Src: -1, Dst: -1, Seq: j.seq,
+				Msg: fmt.Sprintf("shard %d crashed at its multiply %d", w.id, w.muln),
+			}
+			return
+		}
+	}
+
+	// Gather owned rows of X into the local operand.
+	xOwn := multivec.New(len(w.owned)*bcrs.BlockDim, m)
+	for l, g := range w.owned {
+		copy(xOwn.Data[l*rowsPerBlock:(l+1)*rowsPerBlock],
+			j.x.Data[g*rowsPerBlock:(g+1)*rowsPerBlock])
+	}
+
+	// Post sends: pack the rows each destination needs.
+	for dst, rows := range w.sendTo {
+		if len(rows) == 0 {
+			continue
+		}
+		buf := make([]float64, len(rows)*rowsPerBlock)
+		for bi, l := range rows {
+			copy(buf[bi*rowsPerBlock:(bi+1)*rowsPerBlock],
+				xOwn.Data[l*rowsPerBlock:(l+1)*rowsPerBlock])
+		}
+		if j.pk != nil {
+			if err := j.tp.Send(j.pk[w.id][dst], w.id, dst, j.seq, buf); err != nil && j.errs[w.id] == nil {
+				j.errs[w.id] = err
+				// Keep going: peers still need our other messages.
+			}
+		} else {
+			j.raw[w.id][dst] <- buf
+		}
+	}
+
+	// Interior product overlaps with the in-flight messages.
+	t0 := time.Now()
+	yLoc := multivec.New(len(w.owned)*bcrs.BlockDim, m)
+	w.interior.Mul(yLoc, xOwn)
+	solve := time.Since(t0)
+
+	// Receive the halo and apply the boundary strip.
+	if w.boundary != nil {
+		xHalo := multivec.New(len(w.halo)*bcrs.BlockDim, m)
+		hw0 := time.Now()
+		for src := 0; src < len(w.recvFrom); src++ {
+			r := w.recvFrom[src]
+			if r[0] == r[1] {
+				continue
+			}
+			if j.pk != nil {
+				want := (r[1] - r[0]) * rowsPerBlock
+				buf, err := j.tp.Recv(j.pk[src][w.id], w.id, src, j.seq, want)
+				if err != nil {
+					if j.errs[w.id] == nil {
+						j.errs[w.id] = err
+					}
+					return
+				}
+				copy(xHalo.Data[r[0]*rowsPerBlock:r[1]*rowsPerBlock], buf)
+			} else {
+				buf := <-j.raw[src][w.id]
+				copy(xHalo.Data[r[0]*rowsPerBlock:r[1]*rowsPerBlock], buf)
+			}
+		}
+		haloWait := time.Since(hw0)
+		w.obs.haloSeconds.Add(haloWait.Seconds())
+		if tr != nil {
+			tr.ObserveSpan(w.spanHalo, haloWait)
+		}
+
+		t1 := time.Now()
+		yB := multivec.New(len(w.owned)*bcrs.BlockDim, m)
+		w.boundary.Mul(yB, xHalo)
+		blas.Add(yLoc.Data, yLoc.Data, yB.Data)
+		solve += time.Since(t1)
+	}
+	w.obs.solveSeconds.Add(solve.Seconds())
+	if tr != nil {
+		tr.ObserveSpan(w.spanSolve, solve)
+	}
+
+	if j.errs[w.id] != nil {
+		return // a send was lost; don't publish a result for this multiply
+	}
+
+	// Scatter into the global result; rows are disjoint across
+	// shards, so no locking is needed.
+	for l, g := range w.owned {
+		copy(j.y.Data[g*rowsPerBlock:(g+1)*rowsPerBlock],
+			yLoc.Data[l*rowsPerBlock:(l+1)*rowsPerBlock])
+	}
+}
