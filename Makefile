@@ -2,10 +2,10 @@ GO ?= go
 
 # The perf artifacts the regression gate watches, and where their
 # committed (HEAD) versions are staged for comparison.
-BENCH_FILES ?= BENCH_serve.json BENCH_symm.json BENCH_parallel.json BENCH_ensemble.json BENCH_shard.json
+BENCH_FILES ?= BENCH_serve.json BENCH_symm.json BENCH_parallel.json BENCH_ensemble.json BENCH_shard.json BENCH_recycle.json
 BENCH_BASELINE_DIR ?= .bench-baseline
 
-.PHONY: ci docs-gate vet build test race race-kernels chaos serial serve-smoke shard-smoke bench bench-snapshot bench-scaling bench-serve bench-symm bench-ensemble bench-shard bench-diff
+.PHONY: ci docs-gate vet build test race race-kernels chaos serial serve-smoke shard-smoke bench bench-snapshot bench-scaling bench-serve bench-symm bench-ensemble bench-shard bench-recycle bench-diff
 
 # ci is the gate: vet, build everything, the full test suite under
 # the race detector (the obs hot paths are lock-free and the worker
@@ -42,10 +42,12 @@ race:
 # dispatcher that reuses solver scratch across batches — plus the obs
 # layer, whose spans and traces cross the submitter/dispatcher
 # goroutine boundary and whose scrape endpoints are hammered
-# concurrently with solving. Short mode keeps it seconds-cheap so the
-# full -race suite only runs once this passes.
+# concurrently with solving, and the solver layer, whose recycler
+# publishes atomic stats snapshots read concurrently by /v1/info while
+# the dispatcher mutates the basis. Short mode keeps it seconds-cheap
+# so the full -race suite only runs once this passes.
 race-kernels:
-	$(GO) test -race -short ./internal/bcrs/ ./internal/parallel/ ./internal/serve/ ./internal/shard/ ./internal/obs/
+	$(GO) test -race -short ./internal/bcrs/ ./internal/parallel/ ./internal/serve/ ./internal/shard/ ./internal/obs/ ./internal/solver/
 
 # chaos runs the fault-injection and recovery tests — seeded chaos
 # runs must reproduce clean-run trajectories bitwise — under -race,
@@ -146,6 +148,19 @@ bench-shard:
 bench-symm:
 	$(GO) run ./cmd/gspmv-bench -symmetric -nowrap -nb 150000 -bpr 20 -band 1200 -m 1,2,4,8,16,32 -threads 1,2 -dedup -unique 1024 -json $(CURDIR)/BENCH_symm.json
 	-$(MAKE) bench-diff BENCH_FILES=BENCH_symm.json
+
+# bench-recycle measures cross-solve Krylov recycling end-to-end and
+# writes BENCH_recycle.json: paired SD runs (recycled vs plain) in the
+# slowly-varying regime, graded by sd.iters_saved_frac (the fraction
+# of first-solve iterations the deflation basis removes; acceptance
+# >= 0.20), and a serve-tier load sweep with similar right-hand sides
+# run twice per point (recycling off/on), graded by
+# serve.recycle_p50_speedup (worst-case p50_off/p50_on; acceptance
+# >= 1 — the cost model auto-disables recycling wherever the projector
+# would cost more than the iterations it saves).
+bench-recycle:
+	$(GO) run ./cmd/recycle-bench -json $(CURDIR)/BENCH_recycle.json
+	-$(MAKE) bench-diff BENCH_FILES=BENCH_recycle.json
 
 # bench-scaling sweeps the worker-pool size over full MRHS steps and
 # writes BENCH_parallel.json: per-phase seconds, speedup, and parallel

@@ -1,0 +1,459 @@
+// Command recycle-bench measures what cross-solve Krylov recycling
+// actually buys, in the two places the repo wires it end-to-end:
+//
+//   - SD time stepping: paired simulations (recycled vs plain) in the
+//     slowly-varying regime — a smooth positional force field dominating
+//     a damped Brownian term — where consecutive midpoint solutions
+//     share a large common component. The acceptance number is
+//     sd.iters_saved_frac: the fraction of first-solve iterations the
+//     deflation basis removes, aggregated over the particle-count sweep.
+//
+//   - The batching serve tier: an open-loop Poisson load sweep with
+//     similar right-hand sides (a fixed base plus small per-request
+//     perturbations), each load point run twice on fresh engines with
+//     recycling off and on. The acceptance number is
+//     serve.recycle_p50_speedup: the worst-case p50_off/p50_on over the
+//     sweep, which must not dip below 1 — the calibrated cost model
+//     auto-disables recycling at any point where the projector costs
+//     more than the iterations it saves.
+//
+// Both sweeps deliberately construct recycling's favorable regime; on
+// uncorrelated traffic the basis deflates nothing and the model turns
+// the machinery off (see DESIGN.md "Recycling economics").
+//
+// Example:
+//
+//	recycle-bench -sd-n 96,160 -load 0.5,2,8 -json BENCH_recycle.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bcrs"
+	"repro/internal/core"
+	"repro/internal/hydro"
+	"repro/internal/model"
+	"repro/internal/parallel"
+	"repro/internal/particles"
+	"repro/internal/perf"
+	"repro/internal/rng"
+	"repro/internal/sd"
+	"repro/internal/serve"
+	"repro/internal/solver"
+)
+
+// sdPoint is one paired SD run: the same system, seed, and noise
+// stream stepped with and without a deflation basis.
+type sdPoint struct {
+	N        int `json:"n"`
+	Steps    int `json:"steps"`
+	RecycleK int `json:"recycle_k"`
+
+	// Mean first-solve iterations per step. The second (midpoint)
+	// solve warm-starts from the first either way and is not corrected.
+	ItersOff float64 `json:"iters_off"`
+	ItersOn  float64 `json:"iters_on"`
+	// ItersSavedFrac = 1 - iters_on/iters_off, the graded metric.
+	ItersSavedFrac float64 `json:"iters_saved_frac"`
+
+	// Mean first-solve milliseconds per step, which folds in the
+	// projector rebuild and correction cost the iteration count hides.
+	FirstSolveMsOff float64 `json:"first_solve_ms_off"`
+	FirstSolveMsOn  float64 `json:"first_solve_ms_on"`
+
+	BasisSize   int     `json:"basis_size"`
+	Builds      int64   `json:"builds"`
+	Corrections int64   `json:"corrections"`
+	HitRate     float64 `json:"hit_rate"`
+}
+
+// servePoint is one load factor run twice on fresh engines.
+type servePoint struct {
+	LoadFactor float64 `json:"load_factor"`
+	OfferedRPS float64 `json:"offered_rps"`
+
+	CompletedOff int     `json:"completed_off"`
+	CompletedOn  int     `json:"completed_on"`
+	ItersOff     float64 `json:"iters_off"` // mean iterations per completed solve
+	ItersOn      float64 `json:"iters_on"`
+	P50OffMs     float64 `json:"p50_off_ms"`
+	P50OnMs      float64 `json:"p50_on_ms"`
+	P99OffMs     float64 `json:"p99_off_ms"`
+	P99OnMs      float64 `json:"p99_on_ms"`
+
+	// RecycleP50Speedup = p50_off/p50_on: >1 means recycling made the
+	// median request faster, <1 means it cost latency. The graded
+	// aggregate is the minimum over the sweep.
+	RecycleP50Speedup float64 `json:"recycle_p50_speedup"`
+
+	Corrections int64   `json:"corrections"`
+	Disables    int64   `json:"disables"`
+	HitRate     float64 `json:"hit_rate"`
+}
+
+type sdReport struct {
+	RecycleK int       `json:"recycle_k"`
+	Tol      float64   `json:"tol"`
+	Points   []sdPoint `json:"points"`
+	// ItersSavedFrac aggregates over the sweep by total iterations, so
+	// larger (more expensive) systems weigh more.
+	ItersSavedFrac float64 `json:"iters_saved_frac"`
+}
+
+type serveReport struct {
+	N        int          `json:"n"`
+	NNZB     int          `json:"nnzb"`
+	RecycleK int          `json:"recycle_k"`
+	Tol      float64      `json:"tol"`
+	Points   []servePoint `json:"points"`
+	// RecycleP50Speedup is the worst point of the sweep: the
+	// acceptance bar is that recycling never costs median latency.
+	RecycleP50Speedup float64 `json:"recycle_p50_speedup"`
+}
+
+type report struct {
+	Threads int         `json:"threads"`
+	SD      sdReport    `json:"sd"`
+	Serve   serveReport `json:"serve"`
+}
+
+func main() {
+	var (
+		threads = flag.Int("threads", 1, "kernel threads")
+		k       = flag.Int("k", 8, "deflation basis budget (vectors recycled)")
+
+		sdNs    = flag.String("sd-n", "96,160", "comma-separated particle counts for the SD sweep")
+		phi     = flag.Float64("phi", 0.30, "SD volume occupancy")
+		steps   = flag.Int("steps", 12, "SD time steps per run")
+		dt      = flag.Float64("dt", 0.002, "SD time step (small: the basis goes stale with configuration drift)")
+		sdTol   = flag.Float64("sd-tol", 1e-8, "SD solver tolerance")
+		amp     = flag.Float64("amp", 40, "smooth force-field amplitude (the slowly-varying component)")
+		noise   = flag.Float64("noise", 1e-4, "Brownian force scale (the uncorrelated component)")
+		sdSeed  = flag.Uint64("seed", 1, "SD packing and noise seed")
+
+		nb       = flag.Int("nb", 2000, "block rows of the serve-tier synthetic SPD matrix")
+		bpr      = flag.Float64("bpr", 6, "target blocks per row")
+		mseed    = flag.Uint64("mseed", 1, "matrix seed")
+		tol      = flag.Float64("tol", 1e-8, "serve-tier solver tolerance")
+		maxIter  = flag.Int("max-iter", 2000, "serve-tier iteration cap")
+		loadsF   = flag.String("load", "0.5,2,8", "load factors relative to the baseline service rate")
+		duration = flag.Duration("duration", time.Second, "offered-arrival window per load point")
+		baseN    = flag.Int("baseline-solves", 12, "sequential solves timed for the baseline rate")
+		rhsPool  = flag.Int("rhs-pool", 64, "distinct similar right-hand sides cycled through")
+		eps      = flag.Float64("eps", 0.05, "per-request perturbation scale on the shared RHS base")
+		useModel = flag.Bool("model", true, "arm the calibrated cost model so serve-tier recycling auto-disables when it loses")
+
+		jsonPath = flag.String("json", "BENCH_recycle.json", "write the report here")
+	)
+	flag.Parse()
+
+	parallel.SetThreads(*threads)
+	rep := report{Threads: *threads}
+	rep.SD = runSDSweep(mustInts(*sdNs), *phi, *steps, *dt, *sdTol, *amp, *noise, *sdSeed, *k, *threads)
+	rep.Serve = runServeSweep(*nb, *bpr, *mseed, *tol, *maxIter, mustFloats(*loadsF),
+		*duration, *baseN, *rhsPool, *eps, *k, *useModel, *threads)
+
+	fmt.Printf("\nsd: %.1f%% of first-solve iterations saved; serve: worst p50 speedup %.2fx\n",
+		100*rep.SD.ItersSavedFrac, rep.Serve.RecycleP50Speedup)
+	writeJSON(*jsonPath, rep)
+}
+
+// smoothForce builds the slowly-varying external force field: smooth in
+// position, so as the configuration drifts by small SD displacements the
+// forced response — the dominant part of each solution — drifts with it.
+func smoothForce(amp float64) func(core.Configuration) []float64 {
+	return func(c core.Configuration) []float64 {
+		sys := c.(*sd.Conf).Sys
+		f := make([]float64, 3*sys.N)
+		w := 2 * math.Pi / sys.Box
+		for i, p := range sys.Pos {
+			for d := 0; d < 3; d++ {
+				f[3*i+d] = amp * math.Sin(w*p[d]+float64(d))
+			}
+		}
+		return f
+	}
+}
+
+func runSDSweep(ns []int, phi float64, steps int, dt, tol, amp, noise float64, seed uint64, k, threads int) sdReport {
+	rep := sdReport{RecycleK: k, Tol: tol}
+	fmt.Printf("sd sweep: %d steps, k=%d, amp=%g, noise scale %g\n", steps, k, amp, noise)
+	fmt.Printf("%8s %10s %10s %8s %12s %12s %6s\n",
+		"n", "iters/off", "iters/on", "saved", "1st ms/off", "1st ms/on", "hit")
+	var totOff, totOn float64
+	for _, n := range ns {
+		run := func(recycleK int) (*sd.Simulation, error) {
+			sys, err := particles.New(particles.Options{N: n, Phi: phi, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			cfg := core.Config{
+				Dt: dt, Seed: seed, Tol: tol, ForceScale: noise,
+				RecycleK: recycleK, ExternalForce: smoothForce(amp),
+			}
+			sim := sd.New(sys, hydro.Options{Phi: phi}, cfg, threads)
+			return sim, sim.RunOriginal(steps)
+		}
+		plain, err := run(0)
+		if err != nil {
+			fail(err)
+		}
+		recyc, err := run(k)
+		if err != nil {
+			fail(err)
+		}
+		st := recyc.RecycleStats()
+		pt := sdPoint{
+			N: n, Steps: steps, RecycleK: k,
+			ItersOff:        plain.Report().MeanFirstIters,
+			ItersOn:         recyc.Report().MeanFirstIters,
+			FirstSolveMsOff: 1e3 * plain.Timings.FirstSolve.Seconds() / float64(steps),
+			FirstSolveMsOn:  1e3 * recyc.Timings.FirstSolve.Seconds() / float64(steps),
+			BasisSize:       st.BasisSize,
+			Builds:          st.Builds,
+			Corrections:     st.Corrections,
+			HitRate:         st.HitRate,
+		}
+		if pt.ItersOff > 0 {
+			pt.ItersSavedFrac = 1 - pt.ItersOn/pt.ItersOff
+		}
+		totOff += pt.ItersOff * float64(steps)
+		totOn += pt.ItersOn * float64(steps)
+		rep.Points = append(rep.Points, pt)
+		fmt.Printf("%8d %10.1f %10.1f %7.1f%% %12.3f %12.3f %6.2f\n",
+			n, pt.ItersOff, pt.ItersOn, 100*pt.ItersSavedFrac,
+			pt.FirstSolveMsOff, pt.FirstSolveMsOn, pt.HitRate)
+	}
+	if totOff > 0 {
+		rep.ItersSavedFrac = 1 - totOn/totOff
+	}
+	return rep
+}
+
+func runServeSweep(nb int, bpr float64, mseed uint64, tol float64, maxIter int, loads []float64,
+	window time.Duration, baseN, poolN int, eps float64, k int, useModel bool, threads int) serveReport {
+
+	a := bcrs.Random(bcrs.RandomOptions{NB: nb, BlocksPerRow: bpr, Seed: mseed})
+	a.SetThreads(threads)
+	n := a.N()
+	rep := serveReport{N: n, NNZB: a.NNZB(), RecycleK: k, Tol: tol, RecycleP50Speedup: math.Inf(1)}
+
+	// Similar-RHS traffic: one shared base plus a small per-request
+	// perturbation, the cross-batch regime the serve-tier basis targets.
+	base := normalVec(n, 4242)
+	pool := make([][]float64, poolN)
+	for i := range pool {
+		p := normalVec(n, uint64(7000+i))
+		pool[i] = make([]float64, n)
+		for j := range p {
+			pool[i][j] = base[j] + eps*p[j]
+		}
+	}
+
+	// Baseline service rate: sequential m=1 CG, defining the load factors.
+	opt := solver.Options{Tol: tol, MaxIter: maxIter}
+	x := make([]float64, n)
+	t0 := time.Now()
+	for i := 0; i < baseN; i++ {
+		clear(x)
+		if st := solver.CG(a, x, pool[i%len(pool)], opt); !st.Converged {
+			fail(fmt.Errorf("baseline solve %d did not converge (residual %g)", i, st.Residual))
+		}
+	}
+	baseRPS := float64(baseN) / time.Since(t0).Seconds()
+	fmt.Printf("\nserve sweep: n=%d, baseline %.1f solves/s, k=%d\n", n, baseRPS, k)
+
+	cfg := serve.Config{Tol: tol, MaxIter: maxIter}
+	if useModel {
+		cfg.Model = &model.GSPMV{
+			Machine: perf.CalibratedMachine(),
+			Shape:   model.Shape{NB: a.NB(), NNZB: a.NNZB()},
+			K:       model.DefaultK,
+		}
+	}
+
+	fmt.Printf("%8s %10s %10s %10s %10s %10s %9s %6s\n",
+		"load", "iters/off", "iters/on", "p50off", "p50on", "speedup", "corr", "hit")
+	onCfg := cfg
+	onCfg.RecycleK = k
+	for _, lf := range loads {
+		// Interleaved repetitions per arm, keeping each arm's lower-p50
+		// rep: open-loop medians on a shared host carry scheduler noise
+		// of the same order as the effect measured, and min-of-reps is
+		// the standard robust latency estimator.
+		off := runLoad(a, cfg, pool, lf*baseRPS, window)
+		onPt := runLoad(a, onCfg, pool, lf*baseRPS, window)
+		for rep := 1; rep < 3; rep++ {
+			if r := runLoad(a, cfg, pool, lf*baseRPS, window); r.completed > 0 && (off.completed == 0 || r.p50 < off.p50) {
+				off = r
+			}
+			if r := runLoad(a, onCfg, pool, lf*baseRPS, window); r.completed > 0 && (onPt.completed == 0 || r.p50 < onPt.p50) {
+				onPt = r
+			}
+		}
+
+		pt := servePoint{
+			LoadFactor: lf, OfferedRPS: lf * baseRPS,
+			CompletedOff: off.completed, CompletedOn: onPt.completed,
+			ItersOff: off.meanIters, ItersOn: onPt.meanIters,
+			P50OffMs: off.p50, P50OnMs: onPt.p50,
+			P99OffMs: off.p99, P99OnMs: onPt.p99,
+			Corrections: onPt.stats.Corrections,
+			Disables:    onPt.stats.Disables,
+			HitRate:     onPt.stats.HitRate,
+		}
+		if pt.P50OnMs > 0 {
+			pt.RecycleP50Speedup = pt.P50OffMs / pt.P50OnMs
+		}
+		if pt.RecycleP50Speedup < rep.RecycleP50Speedup {
+			rep.RecycleP50Speedup = pt.RecycleP50Speedup
+		}
+		rep.Points = append(rep.Points, pt)
+		fmt.Printf("%8.1f %10.1f %10.1f %10.3f %10.3f %9.2fx %9d %6.2f\n",
+			lf, pt.ItersOff, pt.ItersOn, pt.P50OffMs, pt.P50OnMs,
+			pt.RecycleP50Speedup, pt.Corrections, pt.HitRate)
+	}
+	return rep
+}
+
+type loadResult struct {
+	completed int
+	meanIters float64
+	p50, p99  float64
+	stats     solver.RecycleStats
+}
+
+// runLoad offers Poisson arrivals at rps for the window against a fresh
+// engine — the same deterministic open-loop generator as serve-bench,
+// with a fixed arrival seed so the off/on runs see identical schedules.
+// The first tenth of the schedule is offered but excluded from the
+// latency and iteration statistics: both arms measure steady state, not
+// cold caches or (with recycling on) the basis filling up.
+func runLoad(a *bcrs.Matrix, cfg serve.Config, pool [][]float64, rps float64, window time.Duration) loadResult {
+	e := serve.NewEngine(a, cfg)
+
+	arrivals := rng.New(7)
+	var schedule []time.Duration
+	for t := time.Duration(0); t < window; {
+		gap := -math.Log(1-arrivals.Float64()) / rps
+		t += time.Duration(gap * float64(time.Second))
+		schedule = append(schedule, t)
+	}
+	warmup := len(schedule) / 10
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		iters     int
+		completed int
+	)
+	var wg sync.WaitGroup
+	submit := func(b []float64, measured bool) {
+		defer wg.Done()
+		sub := time.Now()
+		res, err := e.Submit(context.Background(), serve.Req{B: b})
+		lat := time.Since(sub)
+		if err != nil || !measured {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		completed++
+		iters += res.Stats.Iterations
+		latencies = append(latencies, lat)
+	}
+	offered := 0
+	start := time.Now()
+	for offered < len(schedule) {
+		elapsed := time.Since(start)
+		for offered < len(schedule) && schedule[offered] <= elapsed {
+			wg.Add(1)
+			go submit(pool[offered%len(pool)], offered >= warmup)
+			offered++
+		}
+		if offered < len(schedule) {
+			time.Sleep(schedule[offered] - time.Since(start))
+		}
+	}
+	wg.Wait()
+	st := e.RecycleStats()
+	e.Close(context.Background())
+
+	r := loadResult{completed: completed, stats: st}
+	if completed > 0 {
+		r.meanIters = float64(iters) / float64(completed)
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		q := func(p float64) float64 {
+			return float64(latencies[int(p*float64(len(latencies)-1))]) / float64(time.Millisecond)
+		}
+		r.p50, r.p99 = q(0.50), q(0.99)
+	}
+	return r
+}
+
+func normalVec(n int, seed uint64) []float64 {
+	s := rng.New(seed)
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = s.Normal()
+	}
+	return v
+}
+
+func writeJSON(path string, rep any) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("report: %s\n", path)
+}
+
+func mustInts(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v <= 0 {
+			fail(fmt.Errorf("bad count %q", f))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func mustFloats(s string) []float64 {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 {
+			fail(fmt.Errorf("bad load factor %q", f))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "recycle-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,48 @@
+package model
+
+// Krylov-recycling economics: whether maintaining a deflation basis
+// pays under the same bandwidth/compute model that prices the GSPMV.
+//
+// The costs are all GSPMV time. Rebuilding the projector for a
+// k-vector basis is one k-wide GSPMV (A*W), paid once per rebuild and
+// amortized over the corrected solves that reuse it (one per SD step,
+// a whole batch of columns in the serve tier). The win is the
+// iterations the correction removes: each saved iteration of an
+// m-wide fused solve is one m-wide GSPMV shared by m columns, so per
+// column it is worth T(m)/m. The small-dense work on either side —
+// the k x k Galerkin solve, the 2nk dot/axpy flops of a correction —
+// is noise next to a single sparse multiply and is ignored.
+
+// RecycleCost returns the amortized per-solve cost (seconds) of
+// maintaining a k-vector recycle basis when one rebuild serves
+// solvesPerBuild corrected solves. Fewer than one solve per rebuild
+// is clamped to one: a rebuild is never cheaper than itself.
+func (g GSPMV) RecycleCost(k int, solvesPerBuild float64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if solvesPerBuild < 1 {
+		solvesPerBuild = 1
+	}
+	return g.T(k) / solvesPerBuild
+}
+
+// RecycleGain returns the per-solve time (seconds) recovered by
+// saving itersSaved iterations of an m-wide fused solve, attributed
+// to one of its m columns. Negative savings (the correction makes
+// convergence worse) price as negative gain.
+func (g GSPMV) RecycleGain(m int, itersSaved float64) float64 {
+	if m < 1 {
+		m = 1
+	}
+	return itersSaved * g.T(m) / float64(m)
+}
+
+// RecyclePays reports whether recycling wins: the per-solve gain of
+// the measured iterations saved exceeds the amortized projector cost.
+// This is the auto-disable predicate — when the basis stops saving
+// enough iterations to buy back its k-wide GSPMV, recycling turns
+// itself off rather than adding latency.
+func (g GSPMV) RecyclePays(k, m int, solvesPerBuild, itersSaved float64) bool {
+	return g.RecycleGain(m, itersSaved) > g.RecycleCost(k, solvesPerBuild)
+}

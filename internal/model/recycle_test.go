@@ -1,0 +1,58 @@
+package model
+
+import "testing"
+
+func recycleModel() GSPMV {
+	return GSPMV{Machine: WSM, Shape: Shape{NB: 10000, NNZB: 250000}}
+}
+
+func TestRecycleCostAmortizes(t *testing.T) {
+	g := recycleModel()
+	one := g.RecycleCost(8, 1)
+	many := g.RecycleCost(8, 10)
+	if !(one > many) {
+		t.Fatalf("cost should fall with amortization: 1 solve %g, 10 solves %g", one, many)
+	}
+	if got := g.RecycleCost(8, 0.25); got != one {
+		t.Fatalf("sub-unit amortization must clamp to one solve: got %g want %g", got, one)
+	}
+	if got := g.RecycleCost(0, 5); got != 0 {
+		t.Fatalf("empty basis costs nothing, got %g", got)
+	}
+}
+
+func TestRecycleGainScalesWithSavings(t *testing.T) {
+	g := recycleModel()
+	if got := g.RecycleGain(1, 10); got != 10*g.T(1) {
+		t.Fatalf("m=1 gain = itersSaved*T(1): got %g want %g", got, 10*g.T(1))
+	}
+	// A fused column's iteration is cheaper than a lone solve's.
+	if !(g.RecycleGain(16, 10) < g.RecycleGain(1, 10)) {
+		t.Fatalf("per-column gain must shrink with fused width")
+	}
+	if !(g.RecycleGain(1, -5) < 0) {
+		t.Fatalf("negative savings must price as negative gain")
+	}
+}
+
+func TestRecyclePaysVerdicts(t *testing.T) {
+	g := recycleModel()
+	// Saving many iterations against a well-amortized basis wins.
+	if !g.RecyclePays(8, 1, 10, 50) {
+		t.Fatalf("50 iterations saved should beat an amortized 8-wide rebuild")
+	}
+	// Saving nothing never pays: the rebuild is pure overhead.
+	if g.RecyclePays(8, 1, 10, 0) {
+		t.Fatalf("zero savings must not pay")
+	}
+	// The paper's r(m): one 8-wide GSPMV costs ~r(8) single
+	// multiplies, so saving less than that per rebuild must lose
+	// when every solve pays a fresh rebuild.
+	r8 := g.T(8) / g.T(1)
+	if g.RecyclePays(8, 1, 1, 0.5*r8) {
+		t.Fatalf("saving half the rebuild cost must lose (r(8)=%g)", r8)
+	}
+	if !g.RecyclePays(8, 1, 1, 2*r8) {
+		t.Fatalf("saving twice the rebuild cost must win (r(8)=%g)", r8)
+	}
+}

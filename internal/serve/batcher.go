@@ -297,6 +297,11 @@ func (e *Engine) dispatch(batch []*call) {
 			// shared batch-wide in ModeBlock.
 			c.tr.SetAttr("iterations", int64(callIters))
 			c.tr.SetAttr("converged", converged)
+			if e.rec.Enabled() {
+				rs := e.rec.Stats()
+				c.tr.SetAttr("recycle_basis", int64(rs.BasisSize))
+				c.tr.SetAttr("recycle_enabled", rs.Enabled)
+			}
 			// Tail latencies become traceable: the request-latency
 			// histogram bucket this observation lands in remembers
 			// this trace's ID as its exemplar.
@@ -351,11 +356,40 @@ func (e *Engine) solveBatch(live []*call, q, kernelM int, stats *[]solver.Stats,
 				j++
 			}
 		}
+		e.beginRecycleRound()
+		corrected := e.rec.CorrectZeroColumns(xs, bs)
+		if corrected {
+			recycleCorrected.Add(int64(q))
+		}
 		*stats = solver.MultiCGWith(e.ws, e.op, xs, bs, opts)
+		for i := range *stats {
+			st := &(*stats)[i]
+			if st.Err != nil {
+				continue
+			}
+			e.rec.Observe(st.Iterations, corrected)
+			if st.Converged {
+				e.rec.Harvest(xs[i])
+			}
+		}
 		clear(bs)   // drop request references so reuse does not pin them
 		clear(opts) // drop per-request contexts
 		e.bsBuf, e.optsBuf = bs[:0], opts[:0]
 	}
+}
+
+// beginRecycleRound opens one recycler round for the batch about to
+// dispatch, first dropping the basis if the shard fleet re-partitioned
+// since it was built — a degraded layout changes the operator the
+// basis was orthonormalized against.
+func (e *Engine) beginRecycleRound() {
+	if e.fleet != nil {
+		if g := e.fleet.Gen(); g != e.fleetGen {
+			e.fleetGen = g
+			e.rec.Invalidate()
+		}
+	}
+	e.rec.BeginRound(e.op, false)
 }
 
 // blockPack returns the dispatcher-owned packed right-hand-side and
@@ -409,9 +443,29 @@ func (e *Engine) solveBlock(live []*call, q, kernelM int) ([]solver.Stats, [][]f
 		}
 	}
 	multivec.PackColumns(b, bs) // fully overwrites b, zero-filling padding
+	clear(x.Data)               // reused buffer: restore the zero initial guess
+	// Galerkin-correct each column's zero guess from the recycled
+	// basis. The shared block recurrence iterates from the corrected
+	// block guess (BlockCG forms R = B - A*X); its iteration count is
+	// batch-shared, so block rounds feed no per-solve Observe — the
+	// model's economics run on fused dispatches only.
+	e.beginRecycleRound()
+	if e.rec.Enabled() {
+		if e.recCol == nil {
+			e.recCol = make([]float64, e.n)
+		}
+		hits := 0
+		for j := range bs {
+			clear(e.recCol)
+			if e.rec.CorrectZero(e.recCol, bs[j]) {
+				x.SetCol(j, e.recCol)
+				hits++
+			}
+		}
+		recycleCorrected.Add(int64(hits))
+	}
 	clear(bs)
 	e.bsBuf = bs[:0]
-	clear(x.Data) // reused buffer: restore the zero initial guess
 	bst := solver.BlockCGWithFallback(e.op, x, b, opt)
 
 	stats := make([]solver.Stats, q)
@@ -427,6 +481,9 @@ func (e *Engine) solveBlock(live []*call, q, kernelM int) ([]solver.Stats, [][]f
 			Converged:  bst.ColumnConverged[j],
 			Residual:   bst.ColumnResiduals[j],
 			Err:        bst.Err,
+		}
+		if bst.Err == nil && stats[j].Converged {
+			e.rec.Harvest(xs[j])
 		}
 	}
 	return stats, xs

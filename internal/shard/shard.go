@@ -348,6 +348,13 @@ func (f *Fleet) Topology() Topology {
 // shard count (a crash shrank it).
 func (f *Fleet) Degraded() bool { return f.topo.Load().p < f.opt.Shards }
 
+// Gen returns the live topology's generation, bumped by every
+// re-partition (crash recovery installs a survivor layout). Consumers
+// caching state derived from the fleet's arithmetic — the serve tier's
+// recycled deflation basis — compare generations to invalidate when
+// the layout, and hence the degraded operator, changes under them.
+func (f *Fleet) Gen() int { return f.topo.Load().gen }
+
 // Close stops the worker goroutines. Call only after the last
 // multiply has returned (the serve engine closes its owned fleet after
 // the dispatcher drains).

@@ -239,12 +239,13 @@ func TestDeflationUsesGSPMV(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	wm := multivec.FromColumns(d.cols...)
 	for j := 0; j < d.K(); j++ {
-		w := d.w.ColVector(j)
+		w := d.cols[j]
 		want := make([]float64, a.N())
 		a.MulVec(want, w)
 		aw := multivec.New(a.N(), d.K())
-		a.Mul(aw, d.w)
+		a.Mul(aw, wm)
 		for i := range want {
 			if math.Abs(aw.At(i, j)-want[i]) > 1e-12*(1+math.Abs(want[i])) {
 				t.Fatal("A*W column mismatch")

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bcrs"
 	"repro/internal/blas"
+	"repro/internal/model"
 )
 
 func recycleMatrix(seed uint64) *bcrs.Matrix {
@@ -35,7 +36,7 @@ func TestDeflationProjectionProperty(t *testing.T) {
 	a.MulVec(r, x)
 	blas.Sub(r, b, r)
 	for j := 0; j < d.K(); j++ {
-		dot := blas.Dot(d.w.ColVector(j), r)
+		dot := blas.Dot(d.cols[j], r)
 		if math.Abs(dot) > 1e-8*blas.Nrm2(b) {
 			t.Errorf("column %d: W^T r = %g, want ~0", j, dot)
 		}
@@ -122,8 +123,8 @@ func TestRecycledCGExactSubspace(t *testing.T) {
 
 	// b = A*(w0 + 0.5*w1): its solution is inside the recycled space.
 	want := make([]float64, n)
-	blas.Axpy(1.0, d.w.ColVector(0), want)
-	blas.Axpy(0.5, d.w.ColVector(1), want)
+	blas.Axpy(1.0, d.cols[0], want)
+	blas.Axpy(0.5, d.cols[1], want)
 	b := make([]float64, n)
 	a.MulVec(b, want)
 
@@ -196,5 +197,266 @@ func TestNewDeflationDropsDependentColumns(t *testing.T) {
 	}
 	if d.K() != 2 {
 		t.Errorf("K = %d, want 2 (dependent column dropped)", d.K())
+	}
+}
+
+// TestNewDeflationRelativeDropTolerance is the regression test for the
+// scale-dependent drop tolerance: a uniformly tiny basis (all norms
+// far below the old absolute 1e-12 cutoff) must still build, and a
+// dependent direction must still be dropped at a huge scale.
+func TestNewDeflationRelativeDropTolerance(t *testing.T) {
+	a := recycleMatrix(27)
+	n := a.N()
+
+	// Degenerate scale, independent directions: two vectors of norm
+	// ~1e-20 would both have been dropped by an absolute cutoff.
+	tiny1 := testRHS(n, 11)
+	tiny2 := testRHS(n, 12)
+	blas.Scal(1e-20, tiny1)
+	blas.Scal(1e-20, tiny2)
+	d, err := NewDeflation(a, [][]float64{tiny1, tiny2})
+	if err != nil {
+		t.Fatalf("tiny independent basis rejected: %v", err)
+	}
+	if d.K() != 2 {
+		t.Fatalf("tiny basis K = %d, want 2", d.K())
+	}
+	// The projector over the tiny basis must still correct: the
+	// basis is normalized, so scale must not leak into the result.
+	b := testRHS(n, 13)
+	x := make([]float64, n)
+	d.CorrectZero(x, b)
+	for i := range x {
+		if math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
+			t.Fatalf("correction produced non-finite x[%d]", i)
+		}
+	}
+
+	// Huge scale, dependent direction: the duplicate must be dropped
+	// even though its orthogonalization remainder (~1e-8 relative
+	// rounding on a 1e+20 column) dwarfs any absolute cutoff.
+	big := testRHS(n, 14)
+	blas.Scal(1e20, big)
+	big2 := append([]float64(nil), big...)
+	d, err = NewDeflation(a, [][]float64{big, big2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.K() != 1 {
+		t.Fatalf("huge duplicate basis K = %d, want 1", d.K())
+	}
+}
+
+// TestCorrectZeroMatchesCorrect: CorrectZero must be bitwise-identical
+// to Correct called with a zero initial guess — the equivalence that
+// lets the batched zero-guess path skip the residual multiply.
+func TestCorrectZeroMatchesCorrect(t *testing.T) {
+	a := recycleMatrix(28)
+	n := a.N()
+	d, err := NewDeflation(a, [][]float64{testRHS(n, 15), testRHS(n, 16), testRHS(n, 17)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := testRHS(n, 18)
+	x1 := make([]float64, n)
+	x2 := make([]float64, n)
+	d.Correct(a, x1, b)
+	d.CorrectZero(x2, b)
+	for i := range x1 {
+		if x1[i] != x2[i] {
+			t.Fatalf("x[%d]: Correct %v != CorrectZero %v", i, x1[i], x2[i])
+		}
+	}
+}
+
+// TestRecycledMultiCGMatchesPerColumn pins the tentpole guarantee:
+// under retirement and repack (mixed tolerances force columns out at
+// different iterations, repacking survivors through the kernel-width
+// ladder), every column of RecycledMultiCG is bitwise-identical to
+// the same column solved alone with the same deflation basis.
+func TestRecycledMultiCGMatchesPerColumn(t *testing.T) {
+	a := recycleMatrix(29)
+	n := a.N()
+	d, err := NewDeflation(a, [][]float64{testRHS(n, 31), testRHS(n, 32), testRHS(n, 33), testRHS(n, 34)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = 7 // pads to the 8-kernel, then repacks 4 -> 2 -> 1
+	xs := make([][]float64, q)
+	bs := make([][]float64, q)
+	opts := make([]Options, q)
+	tols := []float64{1e-2, 1e-4, 1e-6, 1e-8, 1e-3, 1e-9, 1e-5}
+	for j := 0; j < q; j++ {
+		bs[j] = testRHS(n, uint64(40+j))
+		xs[j] = make([]float64, n)
+		opts[j] = Options{Tol: tols[j], MaxIter: 1000}
+	}
+	stats := RecycledMultiCG(a, xs, bs, opts, d)
+
+	iters := map[int]bool{}
+	for j := 0; j < q; j++ {
+		if !stats[j].Converged {
+			t.Fatalf("column %d did not converge", j)
+		}
+		iters[stats[j].Iterations] = true
+		x := make([]float64, n)
+		d.CorrectZero(x, bs[j])
+		st := CG(a, x, bs[j], opts[j])
+		if st.Iterations != stats[j].Iterations {
+			t.Errorf("column %d: fused %d iterations, lone %d", j, stats[j].Iterations, st.Iterations)
+		}
+		for i := range x {
+			if x[i] != xs[j][i] {
+				t.Fatalf("column %d: x[%d] differs from lone recycled solve", j, i)
+			}
+		}
+	}
+	if len(iters) < 3 {
+		t.Fatalf("tolerance spread produced only %d distinct retirement points; repack untested", len(iters))
+	}
+	// Nil deflation degenerates to plain MultiCG bitwise.
+	xs2 := make([][]float64, q)
+	for j := range xs2 {
+		xs2[j] = make([]float64, n)
+	}
+	plain := MultiCG(a, xs2, bs, opts)
+	stats2 := RecycledMultiCG(a, xs2, bs, opts, nil)
+	_ = stats2
+	_ = plain
+}
+
+// TestRecyclerRoundLifecycle drives a Recycler through the harvest /
+// rebuild / correct / observe cycle and checks the observable
+// bookkeeping: basis growth to the budget, hit counting, probe
+// skips, and invalidation.
+func TestRecyclerRoundLifecycle(t *testing.T) {
+	a := recycleMatrix(35)
+	n := a.N()
+	rc := NewRecycler(RecycleConfig{K: 3, ProbeEvery: 4})
+	if rc == nil || !rc.Enabled() {
+		t.Fatal("recycler disabled with positive budget")
+	}
+	if NewRecycler(RecycleConfig{}) != nil {
+		t.Fatal("K=0 must return a nil recycler")
+	}
+
+	opt := Options{Tol: 1e-8, MaxIter: 1000}
+	var corrected, skipped int
+	for round := 1; round <= 12; round++ {
+		rc.BeginRound(a, true)
+		b := testRHS(n, uint64(50+round))
+		x := make([]float64, n)
+		was := rc.CorrectZero(x, b)
+		st := CG(a, x, b, opt)
+		if !st.Converged {
+			t.Fatalf("round %d did not converge", round)
+		}
+		rc.Observe(st.Iterations, was)
+		rc.Harvest(x)
+		if was {
+			corrected++
+		} else {
+			skipped++
+		}
+	}
+	st := rc.Stats()
+	if st.BasisSize != 3 {
+		t.Errorf("basis size %d, want budget 3", st.BasisSize)
+	}
+	if st.Corrections != int64(corrected) || st.Skips != int64(skipped) {
+		t.Errorf("stats count corrections=%d skips=%d, observed %d/%d",
+			st.Corrections, st.Skips, corrected, skipped)
+	}
+	// Round 1 has no basis yet and rounds 4, 8, 12 probe: at least
+	// those four skip; the others correct.
+	if corrected == 0 || skipped < 4 {
+		t.Errorf("corrected=%d skipped=%d: probe cadence broken", corrected, skipped)
+	}
+	if st.HitRate <= 0 || st.HitRate >= 1 {
+		t.Errorf("hit rate %g, want in (0,1)", st.HitRate)
+	}
+
+	rc.Invalidate()
+	st = rc.Stats()
+	if st.BasisSize != 0 || st.Invalidations != 1 {
+		t.Errorf("invalidate left basis=%d invalidations=%d", st.BasisSize, st.Invalidations)
+	}
+	rc.BeginRound(a, true)
+	if rc.RoundDeflation() != nil {
+		t.Error("deflation survived invalidation with no new harvests")
+	}
+}
+
+// TestRecyclerSnapshotRestoreReplaysBitwise: restoring a snapshot and
+// replaying the same solve sequence must reproduce identical
+// corrections — the recovery-replay determinism contract.
+func TestRecyclerSnapshotRestoreReplaysBitwise(t *testing.T) {
+	a := recycleMatrix(36)
+	n := a.N()
+	rc := NewRecycler(RecycleConfig{K: 2, ProbeEvery: 3})
+	opt := Options{Tol: 1e-8, MaxIter: 1000}
+
+	run := func(seed uint64) []float64 {
+		rc.BeginRound(a, true)
+		b := testRHS(n, seed)
+		x := make([]float64, n)
+		was := rc.CorrectZero(x, b)
+		st := CG(a, x, b, opt)
+		rc.Observe(st.Iterations, was)
+		rc.Harvest(x)
+		return x
+	}
+	run(60)
+	run(61)
+	snap := rc.Snapshot()
+	first := [][]float64{run(62), run(63)}
+	rc.Restore(snap)
+	replay := [][]float64{run(62), run(63)}
+	for k := range first {
+		for i := range first[k] {
+			if first[k][i] != replay[k][i] {
+				t.Fatalf("replayed solve %d: x[%d] differs", k, i)
+			}
+		}
+	}
+}
+
+// TestRecyclerAutoDisable: with a model attached and corrections that
+// save nothing (identical warm/cold iteration EWMAs), the payoff
+// verdict must flip recycling off — and the probe cadence must keep
+// re-measuring afterwards.
+func TestRecyclerAutoDisable(t *testing.T) {
+	g := &model.GSPMV{Machine: model.WSM, Shape: model.Shape{NB: 100, NNZB: 500}}
+	rc := NewRecycler(RecycleConfig{K: 4, ProbeEvery: 5, Model: g})
+	a := recycleMatrix(37)
+	n := a.N()
+	// Seed a basis so rounds actually correct.
+	rc.Harvest(testRHS(n, 70))
+	rc.Harvest(testRHS(n, 71))
+
+	// Feed equal cold and warm iteration counts: savings are zero, so
+	// the model must declare the rebuild a pure loss.
+	for round := 0; round < 20; round++ {
+		rc.BeginRound(a, true)
+		corrected := rc.CorrectZero(make([]float64, n), testRHS(n, uint64(80+round)))
+		rc.Observe(100, corrected)
+	}
+	st := rc.Stats()
+	if st.Enabled {
+		t.Fatalf("recycling still enabled with zero measured savings: %+v", st)
+	}
+	if st.Disables < 1 {
+		t.Fatalf("disable transition not counted: %+v", st)
+	}
+	// Once disabled, steady-state rounds skip and only probes correct.
+	before := rc.Stats().Corrections
+	for round := 0; round < 10; round++ {
+		rc.BeginRound(a, true)
+		corrected := rc.CorrectZero(make([]float64, n), testRHS(n, uint64(120+round)))
+		rc.Observe(100, corrected)
+	}
+	delta := rc.Stats().Corrections - before
+	if delta == 0 || delta > 3 {
+		t.Errorf("disabled recycler corrected %d of 10 rounds, want only probes", delta)
 	}
 }
